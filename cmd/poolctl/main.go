@@ -1,0 +1,128 @@
+// Command poolctl runs an interactive-style pooled-rack scenario and
+// narrates what the orchestrator does: allocation, a device failure,
+// automatic failover, load rebalancing, and a maintenance drain — the
+// full §4.2 control-plane lifecycle in one run.
+//
+// Usage:
+//
+//	poolctl [-hosts N] [-seed N] [-duration MS]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cxlpool/internal/core"
+	"cxlpool/internal/orch"
+	"cxlpool/internal/sim"
+)
+
+func main() {
+	hosts := flag.Int("hosts", 4, "hosts in the pod")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	durationMS := flag.Int("duration", 40, "scenario length in simulated ms")
+	flag.Parse()
+
+	if err := run(*hosts, *seed, *durationMS); err != nil {
+		fmt.Fprintf(os.Stderr, "poolctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(hosts int, seed int64, durationMS int) error {
+	fmt.Printf("building pod: %d hosts, 1 NIC each, 2 MHDs, shared CXL segment\n", hosts)
+	pod, err := core.NewPod(core.Config{Hosts: hosts, NICsPerHost: 1, Seed: seed, AgentPollInterval: 1000})
+	if err != nil {
+		return err
+	}
+	o, err := orch.New(pod, "host0", orch.LocalFirst)
+	if err != nil {
+		return err
+	}
+	if err := o.RegisterAll(); err != nil {
+		return err
+	}
+	o.EnableRebalance = true
+
+	h0, err := pod.Host("host0")
+	if err != nil {
+		return err
+	}
+	v, err := o.Allocate(h0, "vnic0", core.VNICConfig{BufSize: 2048, TxBuffers: 512, RxBuffers: 256})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("allocated vnic0 for host0 -> physical %s on %s (policy %s)\n",
+		v.Phys().Name(), v.Owner().Name(), orch.LocalFirst)
+
+	// A sink on the last host receives the traffic.
+	last, err := pod.Host(pod.Hosts()[hosts-1])
+	if err != nil {
+		return err
+	}
+	sinkNIC := last.NICs()[0].Name()
+	sink := core.NewVirtualNIC(last, "sink", core.VNICConfig{BufSize: 2048, RxBuffers: 512})
+	if _, err := sink.Bind(last, sinkNIC); err != nil {
+		return err
+	}
+	var delivered int
+	sink.OnReceive(func(_ sim.Time, _ string, _ []byte) { delivered++ })
+
+	if err := o.Start(); err != nil {
+		return err
+	}
+
+	// Traffic: one 1500B packet every 20us.
+	var sent int
+	end := sim.Duration(durationMS) * sim.Millisecond
+	payload := make([]byte, 1500)
+	var pump func(t sim.Time)
+	pump = func(t sim.Time) {
+		if t > end {
+			return
+		}
+		if _, err := v.Send(t, sinkNIC, payload); err == nil {
+			sent++
+		}
+		pod.Engine.At(t+20*sim.Microsecond, func() { pump(t + 20*sim.Microsecond) })
+	}
+	pod.Engine.At(0, func() { pump(0) })
+
+	// Fail the serving NIC a third of the way in.
+	failAt := end / 3
+	pod.Engine.At(failAt, func() {
+		fmt.Printf("[%v] injected failure on %s\n", failAt, v.Phys().Name())
+		v.Phys().Fail()
+	})
+
+	if _, err := pod.Engine.RunUntil(end + 5*sim.Millisecond); err != nil {
+		return err
+	}
+
+	failovers, migrations, sweeps := o.Stats()
+	newDev, err := o.Assignment("vnic0")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("[%v] orchestrator: %d monitor sweeps, %d failover(s), %d migration(s)\n",
+		pod.Engine.Now(), sweeps, failovers, migrations)
+	fmt.Printf("vnic0 now served by %s; downtime p50 = %.0fus\n",
+		newDev, o.FailoverTime.Percentile(50)/1e3)
+	fmt.Printf("traffic: %d sent, %d delivered (%.1f%% through a mid-run device failure)\n",
+		sent, delivered, 100*float64(delivered)/float64(sent))
+
+	// Maintenance: drain host1 and hot-remove it.
+	if hosts > 2 {
+		moved, err := o.DrainHost("host1")
+		if err != nil {
+			return err
+		}
+		if err := pod.DetachHost("host1"); err != nil {
+			return err
+		}
+		fmt.Printf("maintenance: drained host1 (%d assignments moved), hot-removed from pod; %d hosts remain\n",
+			moved, len(pod.Hosts()))
+	}
+	return nil
+}

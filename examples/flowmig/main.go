@@ -1,0 +1,91 @@
+// flowmig demonstrates the §5 "better host load balancing" proposal:
+// a long-lived connection-like flow is migrated between pooled NICs on
+// different hosts mid-stream — no programmable switch, no middlebox,
+// no packet loss, no reordering visible to the application. The
+// transformation happens entirely in the pool's software datapath.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cxlpool/internal/core"
+	"cxlpool/internal/sim"
+)
+
+func main() {
+	pod, err := core.NewPod(core.Config{Hosts: 3, NICsPerHost: 1, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	h0, _ := pod.Host("host0")
+	h1, _ := pod.Host("host1")
+	h2, _ := pod.Host("host2")
+
+	// host0 holds two virtual NICs: one on its own device, one on
+	// host1's — the migration target.
+	vLocal := core.NewVirtualNIC(h0, "v-local", core.VNICConfig{BufSize: 2048, TxBuffers: 256})
+	if _, err := vLocal.Bind(h0, "host0-nic0"); err != nil {
+		log.Fatal(err)
+	}
+	vRemote := core.NewVirtualNIC(h0, "v-remote", core.VNICConfig{BufSize: 2048, TxBuffers: 256})
+	if _, err := vRemote.Bind(h1, "host1-nic0"); err != nil {
+		log.Fatal(err)
+	}
+	sink := core.NewVirtualNIC(h2, "sink", core.VNICConfig{BufSize: 2048, RxBuffers: 512})
+	if _, err := sink.Bind(h2, "host2-nic0"); err != nil {
+		log.Fatal(err)
+	}
+
+	flow := core.NewFlowSender(42, vLocal, "host2-nic0")
+	var delivered int
+	var inOrder = true
+	var lastSeq = -1
+	rx := core.NewFlowReceiver(42, 0, func(_ sim.Time, data []byte) {
+		seq := int(data[0])<<8 | int(data[1])
+		if seq != lastSeq+1 {
+			inOrder = false
+		}
+		lastSeq = seq
+		delivered++
+	})
+	rx.Attach(sink)
+
+	const total = 600
+	migrateAt := total / 2
+	now := sim.Time(0)
+	for i := 0; i < total; i++ {
+		if i == migrateAt {
+			// Simulated operator decision: host0's NIC is overloaded;
+			// shift the flow to host1's pooled NIC WITHOUT draining.
+			if err := flow.Migrate(vRemote); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("[seg %d] flow migrated %s -> %s (different host, same stream)\n",
+				i, "host0-nic0", "host1-nic0")
+		}
+		seg := []byte{byte(i >> 8), byte(i)}
+		d, err := flow.Send(now, seg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		now += d + 10*sim.Microsecond
+		if i%64 == 0 {
+			if _, err := pod.Engine.RunUntil(now); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if _, err := pod.Engine.RunUntil(now + 10*sim.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+
+	_, reordered, dups := rx.Stats()
+	fmt.Printf("segments: %d sent, %d delivered in order=%v (dups=%d)\n",
+		total, delivered, inOrder, dups)
+	fmt.Printf("reorder buffer absorbed %d cross-path races during migration\n", reordered)
+	if delivered != total || !inOrder {
+		log.Fatal("stream broken by migration")
+	}
+	fmt.Println("the paper's TCP-migration use case, with zero network middleboxes")
+}

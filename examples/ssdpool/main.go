@@ -1,0 +1,111 @@
+// ssdpool demonstrates SSD disaggregation over the CXL pool: a diskless
+// host does 4K reads and writes against an NVMe drive physically
+// attached to a neighbor, with data staged in pool memory. It prints
+// the pooled-vs-local latency comparison that makes the paper's case —
+// the forwarding overhead is noise next to NAND latency, unlike
+// RDMA-based disaggregation where the network round trip is material.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cxlpool/internal/core"
+	"cxlpool/internal/metrics"
+	"cxlpool/internal/sim"
+	"cxlpool/internal/ssdsim"
+)
+
+func main() {
+	pod, err := core.NewPod(core.Config{Hosts: 2, NICsPerHost: 0, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	diskless, _ := pod.Host("host0")
+	storage, _ := pod.Host("host1")
+	ssd, err := storage.AddSSD("host1-ssd0", 1<<28)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Local baseline: host1 submits to its own drive.
+	localLat := metrics.NewRecorder(256)
+	now := sim.Time(0)
+	for i := 0; i < 100; i++ {
+		err := ssd.Submit(now, ssdsim.OpRead, int64(i)*ssdsim.SectorSize, ssdsim.SectorSize, 0,
+			func(c ssdsim.Completion) { localLat.Record(float64(c.Latency)) })
+		if err != nil {
+			log.Fatal(err)
+		}
+		now += 200 * sim.Microsecond
+		if _, err := pod.Engine.RunUntil(now); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Pooled path: host0 (no local disk at all) uses the same drive.
+	v := core.NewVirtualSSD(diskless, "vssd0", core.VSSDConfig{})
+	if _, err := v.Bind(storage, ssd); err != nil {
+		log.Fatal(err)
+	}
+
+	// Write then read back, verifying data integrity across hosts.
+	blob := make([]byte, 4*ssdsim.SectorSize)
+	for i := range blob {
+		blob[i] = byte(i * 7)
+	}
+	var wrote bool
+	if _, err := v.Write(now, 0, blob, func(_ sim.Time, _ []byte, err error) {
+		if err != nil {
+			log.Fatalf("pooled write: %v", err)
+		}
+		wrote = true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	now += sim.Millisecond
+	if _, err := pod.Engine.RunUntil(now); err != nil {
+		log.Fatal(err)
+	}
+	if !wrote {
+		log.Fatal("write never completed")
+	}
+	var verified bool
+	if _, err := v.Read(now, 0, len(blob), func(_ sim.Time, data []byte, err error) {
+		if err != nil {
+			log.Fatalf("pooled read: %v", err)
+		}
+		for i := range data {
+			if data[i] != byte(i*7) {
+				log.Fatalf("corruption at byte %d", i)
+			}
+		}
+		verified = true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	now += sim.Millisecond
+	if _, err := pod.Engine.RunUntil(now); err != nil {
+		log.Fatal(err)
+	}
+	if !verified {
+		log.Fatal("read never completed")
+	}
+	fmt.Println("data integrity: 16 KiB written by host0, stored on host1's NVMe, read back intact")
+
+	// Pooled 4K read latency distribution.
+	for i := 0; i < 100; i++ {
+		if _, err := v.Read(now, int64(i)*ssdsim.SectorSize, ssdsim.SectorSize, nil); err != nil {
+			log.Fatal(err)
+		}
+		now += 200 * sim.Microsecond
+		if _, err := pod.Engine.RunUntil(now); err != nil {
+			log.Fatal(err)
+		}
+	}
+	local := localLat.Percentile(50)
+	pooled := v.Latency.Percentile(50)
+	fmt.Printf("4K read p50: local %.1fus, pooled-over-CXL %.1fus (+%.1f%%)\n",
+		local/1e3, pooled/1e3, 100*(pooled-local)/local)
+	fmt.Println("host0 needs zero local SSDs; stranded NVMe capacity on host1 is now usable")
+}

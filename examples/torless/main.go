@@ -1,0 +1,103 @@
+// torless demonstrates the §5 "datacenter networks without ToRs"
+// analysis: it runs the reliability comparison between single-ToR,
+// dual-ToR, and ToR-less (CXL-pooled NICs cabled straight to the
+// aggregation layer) rack designs, then shows the failure mode live: a
+// ToR dies under traffic and takes the whole rack down, while a pooled
+// NIC failure costs only a brief failover.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cxlpool/internal/core"
+	"cxlpool/internal/experiments"
+	"cxlpool/internal/orch"
+	"cxlpool/internal/sim"
+)
+
+func main() {
+	// Part 1: the reliability table (Monte-Carlo + closed form).
+	if err := experiments.ToRless(os.Stdout, 42); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// Part 2: live contrast on the simulated rack.
+	fmt.Println("live demo: ToR failure vs pooled-NIC failure, 20kpps flow")
+	pod, err := core.NewPod(core.Config{Hosts: 3, NICsPerHost: 1, Seed: 5, AgentPollInterval: 1000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	o, err := orch.New(pod, "host0", orch.LeastUtilized)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := o.RegisterAll(); err != nil {
+		log.Fatal(err)
+	}
+	h0, _ := pod.Host("host0")
+	h2, _ := pod.Host("host2")
+	v, err := o.Allocate(h0, "flow", core.VNICConfig{BufSize: 1500, TxBuffers: 512, RxBuffers: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sink := core.NewVirtualNIC(h2, "sink", core.VNICConfig{BufSize: 1500, RxBuffers: 512})
+	if _, err := sink.Bind(h2, "host2-nic0"); err != nil {
+		log.Fatal(err)
+	}
+	var delivered, deliveredDuringToROutage int
+	torDown := false
+	sink.OnReceive(func(_ sim.Time, _ string, _ []byte) {
+		delivered++
+		if torDown {
+			deliveredDuringToROutage++
+		}
+	})
+	if err := o.Start(); err != nil {
+		log.Fatal(err)
+	}
+	payload := make([]byte, 1400)
+	sent := 0
+	var pump func(t sim.Time)
+	pump = func(t sim.Time) {
+		if t > 30*sim.Millisecond {
+			return
+		}
+		if _, err := v.Send(t, "host2-nic0", payload); err == nil {
+			sent++
+		}
+		pod.Engine.At(t+50*sim.Microsecond, func() { pump(t + 50*sim.Microsecond) })
+	}
+	pod.Engine.At(0, func() { pump(0) })
+
+	// Phase A: the single ToR fails for 5ms. Nothing can help: the rack
+	// is a star around it.
+	pod.Engine.At(5*sim.Millisecond, func() {
+		torDown = true
+		pod.Fabric.Fail()
+		fmt.Println("[5ms] ToR switch fails — every flow in the rack is dead")
+	})
+	pod.Engine.At(10*sim.Millisecond, func() {
+		torDown = false
+		pod.Fabric.Repair()
+		fmt.Println("[10ms] ToR repaired")
+	})
+	// Phase B: the serving NIC fails; the orchestrator fails over
+	// through the pool.
+	pod.Engine.At(18*sim.Millisecond, func() {
+		fmt.Printf("[18ms] pooled NIC %s fails — orchestrator takes over\n", v.Phys().Name())
+		v.Phys().Fail()
+	})
+	if _, err := pod.Engine.RunUntil(35 * sim.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+	failovers, _, _ := o.Stats()
+	fmt.Printf("ToR outage: %d packets delivered during 5ms window (unavoidable: single point of failure)\n",
+		deliveredDuringToROutage)
+	fmt.Printf("NIC failure: %d failover in %.0fus; flow continued\n",
+		failovers, o.FailoverTime.Percentile(50)/1e3)
+	fmt.Printf("total: %d/%d delivered (%.1f%%)\n", delivered, sent, 100*float64(delivered)/float64(sent))
+	fmt.Println("conclusion: pooled NICs cabled to aggregation remove the ToR failure domain entirely")
+}

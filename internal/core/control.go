@@ -1,0 +1,201 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"cxlpool/internal/shm"
+	"cxlpool/internal/sim"
+)
+
+// ControlPlane carries orchestrator↔agent commands over shared-memory
+// channels, as §4.2 specifies: "the orchestrator and the agents
+// communicate using shared-memory channels in the shared CXL memory".
+//
+// The orchestrator (on its home host) opens one command/ack channel
+// pair per target host. A REMAP command tells the target host's agent
+// to rebind one of its virtual NICs; the agent executes the rebind and
+// acknowledges, so measured failover times include real command
+// delivery, agent polling, and execution.
+type ControlPlane struct {
+	pod  *Pod
+	home *Host
+
+	links map[string]*ctlLink
+
+	// OnAck is invoked on the home agent when a remap acknowledgment
+	// arrives: vnic has been rebound to dev; stamp echoes the command's
+	// stamp (e.g. the failure time, for downtime accounting). ok=false
+	// reports a failed execution.
+	OnAck func(now sim.Time, vnic, dev string, stamp sim.Time, ok bool)
+}
+
+type ctlLink struct {
+	target  *Host
+	cmdSend *shm.Sender // home -> target
+	ackSend *shm.Sender // target -> home
+}
+
+// Control descriptor kinds.
+const (
+	ctlRemap uint8 = 30
+	ctlAck   uint8 = 31
+	ctlNack  uint8 = 32
+)
+
+// ctl layout: [kind u8][lv u8][lo u8][ld u8][stamp i64][vnic][owner][dev]
+const ctlHeader = 12
+
+var errCtlNames = errors.New("core: control names exceed slot capacity")
+
+type ctlDesc struct {
+	kind             uint8
+	stamp            sim.Time
+	vnic, owner, dev string
+}
+
+func (d ctlDesc) encode() ([]byte, error) {
+	total := ctlHeader + len(d.vnic) + len(d.owner) + len(d.dev)
+	if total > shm.MaxPayload {
+		return nil, fmt.Errorf("%w: %d bytes", errCtlNames, total)
+	}
+	buf := make([]byte, total)
+	buf[0] = d.kind
+	buf[1] = byte(len(d.vnic))
+	buf[2] = byte(len(d.owner))
+	buf[3] = byte(len(d.dev))
+	putI64(buf[4:12], int64(d.stamp))
+	off := ctlHeader
+	off += copy(buf[off:], d.vnic)
+	off += copy(buf[off:], d.owner)
+	copy(buf[off:], d.dev)
+	return buf, nil
+}
+
+func putI64(b []byte, v int64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getI64(b []byte) int64 {
+	var v int64
+	for i := 0; i < 8; i++ {
+		v |= int64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func decodeCtl(buf []byte) (ctlDesc, error) {
+	if len(buf) < ctlHeader {
+		return ctlDesc{}, fmt.Errorf("core: short control descriptor (%d)", len(buf))
+	}
+	lv, lo, ld := int(buf[1]), int(buf[2]), int(buf[3])
+	if ctlHeader+lv+lo+ld > len(buf) {
+		return ctlDesc{}, fmt.Errorf("core: control descriptor name lengths overflow")
+	}
+	d := ctlDesc{kind: buf[0], stamp: sim.Time(getI64(buf[4:12]))}
+	off := ctlHeader
+	d.vnic = string(buf[off : off+lv])
+	off += lv
+	d.owner = string(buf[off : off+lo])
+	off += lo
+	d.dev = string(buf[off : off+ld])
+	switch d.kind {
+	case ctlRemap, ctlAck, ctlNack:
+		return d, nil
+	default:
+		return ctlDesc{}, fmt.Errorf("core: unknown control kind %d", d.kind)
+	}
+}
+
+// NewControlPlane creates a control plane homed on home.
+func NewControlPlane(pod *Pod, home *Host) *ControlPlane {
+	return &ControlPlane{pod: pod, home: home, links: make(map[string]*ctlLink)}
+}
+
+// Connect opens the channel pair to a target host (idempotent).
+func (cp *ControlPlane) Connect(target *Host) error {
+	if _, ok := cp.links[target.Name()]; ok {
+		return nil
+	}
+	cmdCh, err := cp.pod.NewChannel(64)
+	if err != nil {
+		return err
+	}
+	ackCh, err := cp.pod.NewChannel(64)
+	if err != nil {
+		return err
+	}
+	link := &ctlLink{
+		target:  target,
+		cmdSend: cmdCh.NewSender(cp.home.cache),
+		ackSend: ackCh.NewSender(target.cache),
+	}
+	// Target agent executes commands.
+	target.agent.addService(cmdCh.NewReceiver(target.cache), func(cur sim.Time, payload []byte) sim.Time {
+		return cp.executeOnTarget(link, cur, payload)
+	})
+	// Home agent dispatches acknowledgments.
+	cp.home.agent.addService(ackCh.NewReceiver(cp.home.cache), func(cur sim.Time, payload []byte) sim.Time {
+		d, err := decodeCtl(payload)
+		if err != nil {
+			return cur
+		}
+		if cp.OnAck != nil && (d.kind == ctlAck || d.kind == ctlNack) {
+			cp.OnAck(cur, d.vnic, d.dev, d.stamp, d.kind == ctlAck)
+		}
+		return cur
+	})
+	cp.links[target.Name()] = link
+	return nil
+}
+
+// SendRemap commands the vNIC's user host to rebind vnicName onto
+// device devName owned by ownerName. stamp is echoed in the ack (pass
+// the failure time for downtime accounting). The returned duration is
+// the home-side send cost; execution and the ack are asynchronous.
+func (cp *ControlPlane) SendRemap(now sim.Time, target *Host, vnicName, ownerName, devName string, stamp sim.Time) (sim.Duration, error) {
+	if err := cp.Connect(target); err != nil {
+		return 0, err
+	}
+	enc, err := ctlDesc{kind: ctlRemap, stamp: stamp, vnic: vnicName, owner: ownerName, dev: devName}.encode()
+	if err != nil {
+		return 0, err
+	}
+	return cp.links[target.Name()].cmdSend.Send(now, enc)
+}
+
+// executeOnTarget runs on the target host's agent: perform the rebind
+// and acknowledge.
+func (cp *ControlPlane) executeOnTarget(link *ctlLink, cur sim.Time, payload []byte) sim.Time {
+	d, err := decodeCtl(payload)
+	if err != nil || d.kind != ctlRemap {
+		return cur
+	}
+	ackKind := ctlAck
+	v, vok := cp.pod.vnics[d.vnic]
+	owner, oerr := cp.pod.Host(d.owner)
+	if !vok || oerr != nil || v.user != link.target {
+		ackKind = ctlNack
+	} else {
+		rd, err := v.Remap(owner, d.dev)
+		cur += rd
+		if err != nil {
+			ackKind = ctlNack
+		}
+	}
+	enc, err := ctlDesc{kind: ackKind, stamp: d.stamp, vnic: d.vnic, owner: d.owner, dev: d.dev}.encode()
+	if err != nil {
+		return cur
+	}
+	// The remap advanced the cursor ~20us past this sweep's event time;
+	// sending the ack now would make its bytes visible to other events
+	// before `cur`. Schedule the send at the honest time instead.
+	at := cur
+	cp.pod.Engine.At(at, func() {
+		// Ack channel full: orchestrator times out and re-sweeps.
+		_, _ = link.ackSend.Send(at, enc)
+	})
+	return cur
+}

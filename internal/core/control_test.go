@@ -1,0 +1,151 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cxlpool/internal/sim"
+)
+
+func TestCtlDescRoundTrip(t *testing.T) {
+	d := ctlDesc{kind: ctlRemap, stamp: 123456, vnic: "v0", owner: "host2", dev: "host2-nic0"}
+	enc, err := d.encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeCtl(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d {
+		t.Fatalf("round trip %+v != %+v", got, d)
+	}
+}
+
+func TestCtlDescValidation(t *testing.T) {
+	long := strings.Repeat("x", 60)
+	if _, err := (ctlDesc{kind: ctlRemap, vnic: long}).encode(); err == nil {
+		t.Fatal("oversized names accepted")
+	}
+	if _, err := decodeCtl([]byte{1, 2}); err == nil {
+		t.Fatal("short descriptor accepted")
+	}
+	bad, _ := ctlDesc{kind: ctlRemap, vnic: "v"}.encode()
+	bad[0] = 99
+	if _, err := decodeCtl(bad); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	// Name lengths overflowing the buffer.
+	overflow, _ := ctlDesc{kind: ctlRemap, vnic: "v"}.encode()
+	overflow[1] = 200
+	if _, err := decodeCtl(overflow); err == nil {
+		t.Fatal("overflowing name lengths accepted")
+	}
+}
+
+func TestControlPlaneRemapExecutes(t *testing.T) {
+	p := newTestPod(t, 3)
+	h0, _ := p.Host("host0")
+	h1, _ := p.Host("host1")
+	h2, _ := p.Host("host2")
+	v := NewVirtualNIC(h0, "ctl-v", VNICConfig{BufSize: 512})
+	if _, err := v.Bind(h1, "host1-nic0"); err != nil {
+		t.Fatal(err)
+	}
+
+	cp := NewControlPlane(p, h2) // orchestrator homed on host2
+	var ackVnic, ackDev string
+	var ackOK bool
+	var ackAt sim.Time
+	cp.OnAck = func(now sim.Time, vnic, dev string, stamp sim.Time, ok bool) {
+		ackVnic, ackDev, ackOK, ackAt = vnic, dev, ok, now
+		if stamp != 777 {
+			t.Errorf("stamp = %v", stamp)
+		}
+	}
+	if _, err := cp.SendRemap(0, h0, "ctl-v", "host2", "host2-nic0", 777); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Engine.RunUntil(5 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !ackOK || ackVnic != "ctl-v" || ackDev != "host2-nic0" {
+		t.Fatalf("ack: ok=%v vnic=%q dev=%q", ackOK, ackVnic, ackDev)
+	}
+	if v.Owner() != h2 || v.Phys().Name() != "host2-nic0" {
+		t.Fatalf("remap not executed: owner=%v phys=%v", v.Owner().Name(), v.Phys().Name())
+	}
+	// Command round trip is agent-poll-scale: microseconds, not ms.
+	if ackAt > 200*sim.Microsecond {
+		t.Fatalf("control round trip %v too slow", ackAt)
+	}
+	if ackAt < 1000 {
+		t.Fatalf("control round trip %v implausibly fast", ackAt)
+	}
+}
+
+func TestControlPlaneNackUnknownVNIC(t *testing.T) {
+	p := newTestPod(t, 2)
+	h0, _ := p.Host("host0")
+	h1, _ := p.Host("host1")
+	cp := NewControlPlane(p, h1)
+	var gotAck, ok bool
+	cp.OnAck = func(_ sim.Time, _, _ string, _ sim.Time, acked bool) {
+		gotAck = true
+		ok = acked
+	}
+	if _, err := cp.SendRemap(0, h0, "ghost", "host1", "host1-nic0", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Engine.RunUntil(5 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !gotAck || ok {
+		t.Fatalf("want nack: gotAck=%v ok=%v", gotAck, ok)
+	}
+}
+
+func TestControlPlaneNackWrongHost(t *testing.T) {
+	// A remap command for a vNIC sent to a host that does not own it
+	// must be refused (defense against stale orchestrator state).
+	p := newTestPod(t, 3)
+	h0, _ := p.Host("host0")
+	h1, _ := p.Host("host1")
+	h2, _ := p.Host("host2")
+	v := NewVirtualNIC(h0, "wrong-host-v", VNICConfig{BufSize: 512})
+	if _, err := v.Bind(h1, "host1-nic0"); err != nil {
+		t.Fatal(err)
+	}
+	cp := NewControlPlane(p, h2)
+	var ok = true
+	cp.OnAck = func(_ sim.Time, _, _ string, _ sim.Time, acked bool) { ok = acked }
+	// Send to h1, but the vNIC's user is h0.
+	if _, err := cp.SendRemap(0, h1, "wrong-host-v", "host2", "host2-nic0", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Engine.RunUntil(5 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("remap executed on a host that does not own the vNIC")
+	}
+	if v.Owner() != h1 {
+		t.Fatal("binding changed despite nack")
+	}
+}
+
+func TestControlPlaneConnectIdempotent(t *testing.T) {
+	p := newTestPod(t, 2)
+	h0, _ := p.Host("host0")
+	h1, _ := p.Host("host1")
+	cp := NewControlPlane(p, h0)
+	if err := cp.Connect(h1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Connect(h1); err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.links) != 1 {
+		t.Fatalf("links = %d", len(cp.links))
+	}
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"cxlpool/internal/mem"
+	"cxlpool/internal/metrics"
+	"cxlpool/internal/pcie"
+	"cxlpool/internal/shm"
+	"cxlpool/internal/sim"
+	"cxlpool/internal/ssdsim"
+)
+
+// VirtualSSD pools NVMe storage the same way VirtualNIC pools NICs
+// (§4: "our design is compatible with other PCIe devices, including
+// SSDs"): data buffers live in the CXL shared segment where both the
+// remote host's CPU and the owning host's SSD can reach them; commands
+// and completions travel over the shared-memory channels. Because NVMe
+// latencies are tens of microseconds, the sub-microsecond forwarding
+// cost is proportionally even smaller than for NICs.
+type VirtualSSD struct {
+	name string
+	user *Host
+
+	owner *Host
+	phys  *ssdsim.SSD
+
+	cmdSend  *shm.Sender // user→owner commands
+	compSend *shm.Sender // owner→user completions
+	ownerSvc *service
+	userSvc  *service
+
+	bufSize  int
+	cfgBufs  int
+	cfgSlots int
+	bufFree  []mem.Address
+
+	nextID  uint64
+	pending map[uint64]*ssdPending
+
+	// Stats.
+	submitted uint64
+	completed uint64
+	ioErrors  uint64
+	remaps    uint64
+
+	// Latency records user-visible end-to-end I/O latency.
+	Latency *metrics.Recorder
+}
+
+type ssdPending struct {
+	op     ssdsim.Op
+	buf    mem.Address
+	start  sim.Time
+	onDone func(now sim.Time, data []byte, err error)
+}
+
+// ssdCmd layout (<=56B): kind(1) op(1) pad(2) len(4) lba(8) addr(8)
+// id(8) stamp(8).
+const (
+	ssdKindCmd  uint8 = 10
+	ssdKindComp uint8 = 11
+	ssdKindErr  uint8 = 12
+)
+
+type ssdDesc struct {
+	kind  uint8
+	op    ssdsim.Op
+	n     uint32
+	lba   int64
+	addr  mem.Address
+	id    uint64
+	stamp sim.Time
+}
+
+func (d ssdDesc) encode() []byte {
+	buf := make([]byte, 40)
+	buf[0] = d.kind
+	buf[1] = uint8(d.op)
+	binary.LittleEndian.PutUint32(buf[4:8], d.n)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(d.lba))
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(d.addr))
+	binary.LittleEndian.PutUint64(buf[24:32], d.id)
+	binary.LittleEndian.PutUint64(buf[32:40], uint64(d.stamp))
+	return buf
+}
+
+func decodeSSDDesc(buf []byte) (ssdDesc, error) {
+	if len(buf) < 40 {
+		return ssdDesc{}, fmt.Errorf("core: short SSD descriptor (%d)", len(buf))
+	}
+	d := ssdDesc{
+		kind:  buf[0],
+		op:    ssdsim.Op(buf[1]),
+		n:     binary.LittleEndian.Uint32(buf[4:8]),
+		lba:   int64(binary.LittleEndian.Uint64(buf[8:16])),
+		addr:  mem.Address(binary.LittleEndian.Uint64(buf[16:24])),
+		id:    binary.LittleEndian.Uint64(buf[24:32]),
+		stamp: sim.Time(binary.LittleEndian.Uint64(buf[32:40])),
+	}
+	if d.kind != ssdKindCmd && d.kind != ssdKindComp && d.kind != ssdKindErr {
+		return ssdDesc{}, fmt.Errorf("core: unknown SSD descriptor kind %d", d.kind)
+	}
+	return d, nil
+}
+
+// VSSDConfig sizes a virtual SSD.
+type VSSDConfig struct {
+	// BufSize is the I/O buffer size and maximum request size (default 64 KiB).
+	BufSize int
+	// Buffers is the buffer-pool depth, bounding outstanding I/O (default 32).
+	Buffers int
+	// ChannelSlots sizes each channel (default 256).
+	ChannelSlots int
+}
+
+func (c *VSSDConfig) defaults() {
+	if c.BufSize <= 0 {
+		c.BufSize = 64 << 10
+	}
+	if c.Buffers <= 0 {
+		c.Buffers = 32
+	}
+	if c.ChannelSlots <= 0 {
+		c.ChannelSlots = 256
+	}
+}
+
+// Errors.
+var (
+	ErrNoIOBuffer = errors.New("core: out of SSD I/O buffers (too many outstanding)")
+	ErrIOTooLarge = errors.New("core: I/O exceeds buffer size")
+)
+
+// NewVirtualSSD creates an unbound virtual SSD for user.
+func NewVirtualSSD(user *Host, name string, cfg VSSDConfig) *VirtualSSD {
+	cfg.defaults()
+	return &VirtualSSD{
+		name:     name,
+		user:     user,
+		bufSize:  cfg.BufSize,
+		cfgBufs:  cfg.Buffers,
+		cfgSlots: cfg.ChannelSlots,
+		pending:  make(map[uint64]*ssdPending),
+		Latency:  metrics.NewRecorder(4096),
+	}
+}
+
+// Name returns the device name.
+func (v *VirtualSSD) Name() string { return v.name }
+
+// Owner returns the serving host (nil when unbound).
+func (v *VirtualSSD) Owner() *Host { return v.owner }
+
+// Phys returns the backing SSD.
+func (v *VirtualSSD) Phys() *ssdsim.SSD { return v.phys }
+
+// Stats returns (submitted, completed, ioErrors, remaps).
+func (v *VirtualSSD) Stats() (submitted, completed, ioErrors, remaps uint64) {
+	return v.submitted, v.completed, v.ioErrors, v.remaps
+}
+
+// Bind attaches the virtual SSD to a physical SSD on owner.
+func (v *VirtualSSD) Bind(owner *Host, phys *ssdsim.SSD) (sim.Duration, error) {
+	if v.phys != nil {
+		v.unbind()
+	}
+	pod := v.user.pod
+	cmdCh, err := pod.NewChannel(v.cfgSlots)
+	if err != nil {
+		return 0, err
+	}
+	compCh, err := pod.NewChannel(v.cfgSlots)
+	if err != nil {
+		return 0, err
+	}
+	v.owner = owner
+	v.phys = phys
+	// The SSD's DMA engine reaches the pool through the owner's address
+	// space.
+	phys.AttachHostMemory(owner.space)
+	v.cmdSend = cmdCh.NewSender(v.user.cache)
+	v.compSend = compCh.NewSender(owner.cache)
+	v.ownerSvc = owner.agent.addService(cmdCh.NewReceiver(owner.cache), v.handleOwner)
+	v.userSvc = v.user.agent.addService(compCh.NewReceiver(v.user.cache), v.handleUser)
+	for i := 0; i < v.cfgBufs; i++ {
+		a, err := pod.SharedAlloc(v.bufSize)
+		if err != nil {
+			return 0, fmt.Errorf("core: vSSD buffer pool: %w", err)
+		}
+		v.bufFree = append(v.bufFree, a)
+	}
+	return RemapLatency, nil
+}
+
+func (v *VirtualSSD) unbind() {
+	if v.ownerSvc != nil {
+		v.ownerSvc.active = false
+		v.ownerSvc = nil
+	}
+	if v.userSvc != nil {
+		v.userSvc.active = false
+		v.userSvc = nil
+	}
+	for _, a := range v.bufFree {
+		_ = v.user.pod.SharedFree(a)
+	}
+	v.bufFree = v.bufFree[:0]
+	v.owner = nil
+	v.phys = nil
+	v.cmdSend = nil
+	v.compSend = nil
+}
+
+// Remap rebinds to a different SSD (failover). Outstanding I/O on the
+// old device is failed back to callers.
+func (v *VirtualSSD) Remap(owner *Host, phys *ssdsim.SSD) (sim.Duration, error) {
+	failed := v.pending
+	v.pending = make(map[uint64]*ssdPending)
+	d, err := v.Bind(owner, phys)
+	if err != nil {
+		return 0, err
+	}
+	v.remaps++
+	now := v.user.pod.Engine.Now()
+	for _, p := range failed {
+		v.ioErrors++
+		if p.onDone != nil {
+			p.onDone(now, nil, fmt.Errorf("core: I/O aborted by remap"))
+		}
+	}
+	return d, nil
+}
+
+// Read submits a read of n bytes at lba. onDone is invoked on the
+// user's agent with the data (in a fresh slice) or an error.
+func (v *VirtualSSD) Read(now sim.Time, lba int64, n int, onDone func(now sim.Time, data []byte, err error)) (sim.Duration, error) {
+	return v.submit(now, ssdsim.OpRead, lba, nil, n, onDone)
+}
+
+// Write submits a write of data at lba.
+func (v *VirtualSSD) Write(now sim.Time, lba int64, data []byte, onDone func(now sim.Time, data []byte, err error)) (sim.Duration, error) {
+	return v.submit(now, ssdsim.OpWrite, lba, data, len(data), onDone)
+}
+
+func (v *VirtualSSD) submit(now sim.Time, op ssdsim.Op, lba int64, data []byte, n int, onDone func(sim.Time, []byte, error)) (sim.Duration, error) {
+	if v.phys == nil {
+		return 0, ErrNotBound
+	}
+	if n > v.bufSize {
+		return 0, fmt.Errorf("%w: %d > %d", ErrIOTooLarge, n, v.bufSize)
+	}
+	if len(v.bufFree) == 0 {
+		return 0, ErrNoIOBuffer
+	}
+	buf := v.bufFree[len(v.bufFree)-1]
+	v.bufFree = v.bufFree[:len(v.bufFree)-1]
+	var spent sim.Duration
+	if op == ssdsim.OpWrite {
+		// Software coherence: the payload must be in pool memory (not
+		// our cache) before the remote device DMA-reads it.
+		d, err := v.user.cache.NTStore(now, buf, data)
+		if err != nil {
+			v.bufFree = append(v.bufFree, buf)
+			return 0, err
+		}
+		spent += d
+	}
+	v.nextID++
+	id := v.nextID
+	v.pending[id] = &ssdPending{op: op, buf: buf, start: now, onDone: onDone}
+	cmd := ssdDesc{kind: ssdKindCmd, op: op, n: uint32(n), lba: lba, addr: buf, id: id, stamp: now}
+	sd, err := v.cmdSend.Send(now+spent, cmd.encode())
+	spent += sd
+	if err != nil {
+		delete(v.pending, id)
+		v.bufFree = append(v.bufFree, buf)
+		return spent, err
+	}
+	v.submitted++
+	return spent, nil
+}
+
+// handleOwner runs on the owner's agent: submit the command to the
+// physical device; its completion publishes back to the user.
+func (v *VirtualSSD) handleOwner(cur sim.Time, payload []byte) sim.Time {
+	d, err := decodeSSDDesc(payload)
+	if err != nil || d.kind != ssdKindCmd {
+		return cur
+	}
+	cur += pcie.MMIOWriteLatency // NVMe SQ doorbell
+	comp := v.compSend
+	submitErr := v.phys.Submit(cur, d.op, d.lba, int(d.n), d.addr, func(c ssdsim.Completion) {
+		kind := ssdKindComp
+		if c.Err != nil {
+			kind = ssdKindErr
+		}
+		resp := ssdDesc{kind: kind, op: d.op, n: d.n, lba: d.lba, addr: d.addr, id: d.id, stamp: d.stamp}
+		if _, err := comp.Send(v.owner.pod.Engine.Now(), resp.encode()); err != nil {
+			v.ioErrors++
+		}
+	})
+	if submitErr != nil {
+		v.ioErrors++
+		resp := ssdDesc{kind: ssdKindErr, op: d.op, n: d.n, lba: d.lba, addr: d.addr, id: d.id, stamp: d.stamp}
+		if _, err := comp.Send(cur, resp.encode()); err != nil {
+			v.ioErrors++
+		}
+	}
+	v.owner.agent.forwarded++
+	return cur
+}
+
+// handleUser runs on the user's agent: fetch read data from the shared
+// buffer, invoke the callback, recycle the buffer.
+func (v *VirtualSSD) handleUser(cur sim.Time, payload []byte) sim.Time {
+	d, err := decodeSSDDesc(payload)
+	if err != nil || (d.kind != ssdKindComp && d.kind != ssdKindErr) {
+		return cur
+	}
+	p, ok := v.pending[d.id]
+	if !ok {
+		return cur // aborted by remap
+	}
+	delete(v.pending, d.id)
+	var data []byte
+	var ioErr error
+	if d.kind == ssdKindErr {
+		ioErr = fmt.Errorf("core: remote SSD I/O failed")
+		v.ioErrors++
+	} else if d.op == ssdsim.OpRead {
+		data = make([]byte, d.n)
+		rd, err := v.user.cache.ReadStream(cur, d.addr, data)
+		cur += rd
+		if err != nil {
+			ioErr = err
+			data = nil
+		}
+	}
+	v.bufFree = append(v.bufFree, p.buf)
+	v.completed++
+	v.user.agent.completed++
+	if ioErr == nil {
+		v.Latency.Record(float64(cur - p.start))
+	}
+	if p.onDone != nil {
+		p.onDone(cur, data, ioErr)
+	}
+	return cur
+}

@@ -1,0 +1,167 @@
+// Package cost models the total cost of ownership comparison at the
+// heart of the paper's argument (§1, §3): hardware PCIe switches cost
+// ~$80k per rack and require redundancy, while MHD-based CXL pods cost
+// ~$600 per host and are already paid for by memory-pooling ROI — so
+// software PCIe pooling over CXL is effectively free once the pod
+// exists.
+package cost
+
+import (
+	"errors"
+	"fmt"
+)
+
+// USD is a dollar amount.
+type USD float64
+
+// String formats with a dollar sign and thousands separators.
+func (u USD) String() string {
+	v := int64(u)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	s := fmt.Sprintf("%d", v)
+	out := ""
+	for i, c := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out += ","
+		}
+		out += string(c)
+	}
+	if neg {
+		return "-$" + out
+	}
+	return "$" + out
+}
+
+// PCIeSwitchPricing itemizes a switch-based pooling deployment. The
+// defaults calibrate the paper's "$80,000 per rack" total (citing
+// GigaIO's published cost analysis) for a 32-host rack with a single
+// switch.
+type PCIeSwitchPricing struct {
+	SwitchUnit     USD // one PCIe switch chassis
+	SwitchSoftware USD // fabric management software license
+	HostAdapter    USD // per-host adapter card
+	CablePerHost   USD // per-host cabling
+}
+
+// DefaultPCIeSwitchPricing returns the calibrated defaults.
+func DefaultPCIeSwitchPricing() PCIeSwitchPricing {
+	return PCIeSwitchPricing{
+		SwitchUnit:     24000,
+		SwitchSoftware: 12000,
+		HostAdapter:    900,
+		CablePerHost:   400,
+	}
+}
+
+// CXLPodPricing itemizes an MHD-based CXL pod per host: the paper cites
+// "about $600 per host" for switch-less pods built from multi-headed
+// devices [32].
+type CXLPodPricing struct {
+	PerHost USD
+	// MemoryPoolingROI, when true, treats the pod hardware as already
+	// amortized by memory-pooling savings, making the *incremental*
+	// cost of PCIe pooling zero (§1: "we can essentially enable PCIe
+	// pooling at no extra cost once CXL memory pools are deployed").
+	MemoryPoolingROI bool
+}
+
+// DefaultCXLPodPricing returns the paper's per-host figure.
+func DefaultCXLPodPricing() CXLPodPricing {
+	return CXLPodPricing{PerHost: 600}
+}
+
+// RackConfig describes the deployment being priced.
+type RackConfig struct {
+	Hosts int
+	// RedundantSwitches deploys two PCIe switches for fault tolerance
+	// and hitless firmware updates ("realistic deployments require
+	// redundant switches", §1).
+	RedundantSwitches bool
+}
+
+// Comparison is the E5 output row set.
+type Comparison struct {
+	Hosts             int
+	PCIeSwitchTotal   USD
+	PCIeSwitchPerHost USD
+	CXLPodTotal       USD
+	CXLPodPerHost     USD
+	// Ratio is switch cost over pod cost.
+	Ratio float64
+	// CXLIncremental is the extra cost to add PCIe pooling on an
+	// already-deployed memory pool.
+	CXLIncremental USD
+}
+
+// Compare prices both approaches for one rack.
+func Compare(rack RackConfig, sw PCIeSwitchPricing, pod CXLPodPricing) (Comparison, error) {
+	if rack.Hosts <= 0 {
+		return Comparison{}, errors.New("cost: rack needs hosts")
+	}
+	switches := 1
+	if rack.RedundantSwitches {
+		switches = 2
+	}
+	swTotal := USD(switches)*sw.SwitchUnit + sw.SwitchSoftware +
+		USD(rack.Hosts)*(sw.HostAdapter+sw.CablePerHost*USD(switches))
+	podTotal := USD(rack.Hosts) * pod.PerHost
+	incremental := podTotal
+	if pod.MemoryPoolingROI {
+		incremental = 0
+	}
+	c := Comparison{
+		Hosts:             rack.Hosts,
+		PCIeSwitchTotal:   swTotal,
+		PCIeSwitchPerHost: swTotal / USD(rack.Hosts),
+		CXLPodTotal:       podTotal,
+		CXLPodPerHost:     pod.PerHost,
+		CXLIncremental:    incremental,
+	}
+	if podTotal > 0 {
+		c.Ratio = float64(swTotal) / float64(podTotal)
+	}
+	return c, nil
+}
+
+// DeviceSavings estimates the §2 utilization argument in dollars: with
+// stranding reduced from before to after (fractions), a provider can
+// deploy proportionally less SSD/NIC capacity for the same delivered
+// service.
+type DeviceSavings struct {
+	Hosts         int
+	SpendPerHost  USD
+	Before, After float64
+	SavedPerRack  USD
+	SavedFraction float64
+}
+
+// Savings computes device-cost savings from a stranding reduction.
+// spendPerHost is the per-host cost of the pooled device class (e.g.
+// NVMe array + NIC).
+func Savings(hosts int, spendPerHost USD, strandedBefore, strandedAfter float64) (DeviceSavings, error) {
+	if hosts <= 0 {
+		return DeviceSavings{}, errors.New("cost: hosts must be positive")
+	}
+	if strandedBefore < 0 || strandedBefore >= 1 || strandedAfter < 0 || strandedAfter >= 1 {
+		return DeviceSavings{}, errors.New("cost: stranding fractions must be in [0,1)")
+	}
+	if strandedAfter > strandedBefore {
+		return DeviceSavings{}, errors.New("cost: pooling cannot increase stranding")
+	}
+	// Capacity needed scales with 1/(1-stranded): useful capacity is
+	// the complement of the stranded fraction.
+	needBefore := 1 / (1 - strandedBefore)
+	needAfter := 1 / (1 - strandedAfter)
+	savedFrac := (needBefore - needAfter) / needBefore
+	return DeviceSavings{
+		Hosts:         hosts,
+		SpendPerHost:  spendPerHost,
+		Before:        strandedBefore,
+		After:         strandedAfter,
+		SavedPerRack:  USD(float64(hosts) * float64(spendPerHost) * savedFrac),
+		SavedFraction: savedFrac,
+	}, nil
+}

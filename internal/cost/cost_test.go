@@ -1,0 +1,136 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUSDString(t *testing.T) {
+	cases := []struct {
+		v    USD
+		want string
+	}{
+		{0, "$0"},
+		{600, "$600"},
+		{80000, "$80,000"},
+		{1234567, "$1,234,567"},
+		{-4200, "-$4,200"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("USD(%f) = %q, want %q", float64(c.v), got, c.want)
+		}
+	}
+}
+
+func TestCompareMatchesPaperScale(t *testing.T) {
+	c, err := Compare(RackConfig{Hosts: 32}, DefaultPCIeSwitchPricing(), DefaultCXLPodPricing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §1: switch-based pooling "easily reaches $80,000" per rack.
+	if c.PCIeSwitchTotal < 60000 || c.PCIeSwitchTotal > 110000 {
+		t.Errorf("switch rack cost %v, want ~$80k", c.PCIeSwitchTotal)
+	}
+	// §3: CXL pods "about $600 per host".
+	if c.CXLPodPerHost != 600 {
+		t.Errorf("pod per host = %v", c.CXLPodPerHost)
+	}
+	if c.CXLPodTotal != 32*600 {
+		t.Errorf("pod total = %v", c.CXLPodTotal)
+	}
+	// Pods are multiples cheaper.
+	if c.Ratio < 3 {
+		t.Errorf("switch/pod ratio %.1f, want >3x", c.Ratio)
+	}
+	// Without memory-pooling ROI amortization, incremental = pod cost.
+	if c.CXLIncremental != c.CXLPodTotal {
+		t.Errorf("incremental %v != pod total %v", c.CXLIncremental, c.CXLPodTotal)
+	}
+}
+
+func TestCompareRedundantSwitchesCostMore(t *testing.T) {
+	single, err := Compare(RackConfig{Hosts: 32}, DefaultPCIeSwitchPricing(), DefaultCXLPodPricing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := Compare(RackConfig{Hosts: 32, RedundantSwitches: true}, DefaultPCIeSwitchPricing(), DefaultCXLPodPricing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dual.PCIeSwitchTotal <= single.PCIeSwitchTotal {
+		t.Fatal("redundant switches not more expensive")
+	}
+}
+
+func TestCompareMemoryPoolingROI(t *testing.T) {
+	pod := DefaultCXLPodPricing()
+	pod.MemoryPoolingROI = true
+	c, err := Compare(RackConfig{Hosts: 16}, DefaultPCIeSwitchPricing(), pod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §1: "essentially enable PCIe pooling at no extra cost".
+	if c.CXLIncremental != 0 {
+		t.Errorf("incremental = %v, want 0 with memory-pooling ROI", c.CXLIncremental)
+	}
+}
+
+func TestCompareValidation(t *testing.T) {
+	if _, err := Compare(RackConfig{Hosts: 0}, DefaultPCIeSwitchPricing(), DefaultCXLPodPricing()); err == nil {
+		t.Fatal("zero hosts accepted")
+	}
+}
+
+func TestSavingsSqrtNExample(t *testing.T) {
+	// §2.1: SSD stranding 54% -> 19% at N=8. With $3000 of NVMe per
+	// host, how much does a 32-host rack save?
+	s, err := Savings(32, 3000, 0.54, 0.19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// need factor drops from 2.17x to 1.23x: ~43% savings.
+	if s.SavedFraction < 0.35 || s.SavedFraction > 0.50 {
+		t.Errorf("saved fraction %.2f, want ~0.43", s.SavedFraction)
+	}
+	if s.SavedPerRack <= 0 {
+		t.Error("no savings")
+	}
+	// The savings must comfortably exceed the $600/host pod cost — the
+	// paper's ROI argument.
+	if float64(s.SavedPerRack) < 32*600 {
+		t.Errorf("savings %v below pod cost %v: ROI argument fails", s.SavedPerRack, USD(32*600))
+	}
+}
+
+func TestSavingsValidation(t *testing.T) {
+	if _, err := Savings(0, 100, 0.5, 0.2); err == nil {
+		t.Fatal("zero hosts accepted")
+	}
+	if _, err := Savings(8, 100, 1.0, 0.2); err == nil {
+		t.Fatal("stranding 1.0 accepted")
+	}
+	if _, err := Savings(8, 100, 0.2, 0.5); err == nil {
+		t.Fatal("increasing stranding accepted")
+	}
+	if _, err := Savings(8, 100, -0.1, 0); err == nil {
+		t.Fatal("negative stranding accepted")
+	}
+}
+
+func TestSavingsZeroChange(t *testing.T) {
+	s, err := Savings(8, 100, 0.3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SavedFraction != 0 || s.SavedPerRack != 0 {
+		t.Fatalf("no-change savings = %+v", s)
+	}
+}
+
+func TestUSDStringInTables(t *testing.T) {
+	c, _ := Compare(RackConfig{Hosts: 32}, DefaultPCIeSwitchPricing(), DefaultCXLPodPricing())
+	if !strings.HasPrefix(c.PCIeSwitchTotal.String(), "$") {
+		t.Fatal("missing dollar sign")
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runExp(t *testing.T, name string) string {
+	t.Helper()
+	e, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("experiment %q not registered", name)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf, 42); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return buf.String()
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"figure2", "sqrtn", "figure3", "figure4", "cost",
+		"lanes", "memlat", "failover", "ablate", "torless", "pooled", "storage"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(all), len(want))
+	}
+	for i, n := range want {
+		if all[i].Name != n {
+			t.Errorf("registry[%d] = %q, want %q", i, all[i].Name, n)
+		}
+		if all[i].Paper == "" {
+			t.Errorf("%s has no paper reference", n)
+		}
+	}
+	if _, ok := Lookup("nonsense"); ok {
+		t.Fatal("bogus lookup succeeded")
+	}
+}
+
+func TestFigure2Output(t *testing.T) {
+	out := runExp(t, "figure2")
+	for _, needle := range []string{"CPU", "Memory", "SSD", "Network", "stranded"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("figure2 output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestSqrtNOutput(t *testing.T) {
+	out := runExp(t, "sqrtn")
+	if !strings.Contains(out, "N") || !strings.Contains(out, "sqrt") {
+		t.Errorf("sqrtn output malformed:\n%s", out)
+	}
+	// All six group sizes present.
+	for _, n := range []string{"1 ", "2 ", "4 ", "8 ", "16", "32"} {
+		if !strings.Contains(out, "\n"+n) {
+			t.Errorf("sqrtn missing row N=%s", strings.TrimSpace(n))
+		}
+	}
+}
+
+func TestFigure4Output(t *testing.T) {
+	out := runExp(t, "figure4")
+	if !strings.Contains(out, "p50=") || !strings.Contains(out, "CDF") {
+		t.Errorf("figure4 output malformed:\n%s", out)
+	}
+	// Median in the paper's neighborhood appears in the summary line.
+	if !strings.Contains(out, "ns") {
+		t.Error("figure4 missing ns units")
+	}
+}
+
+func TestCostOutput(t *testing.T) {
+	out := runExp(t, "cost")
+	for _, needle := range []string{"PCIe switch", "CXL pod", "$", "ROI"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("cost output missing %q", needle)
+		}
+	}
+}
+
+func TestLanesOutput(t *testing.T) {
+	out := runExp(t, "lanes")
+	if !strings.Contains(out, "8 lanes") || !strings.Contains(out, "16 lanes") {
+		t.Errorf("lanes output missing paper values:\n%s", out)
+	}
+	if !strings.Contains(out, "NO") {
+		t.Error("lanes output missing the infeasible 8x400G row")
+	}
+}
+
+func TestMemLatencyOutput(t *testing.T) {
+	out := runExp(t, "memlat")
+	for _, needle := range []string{"DDR5", "CXL direct", "CXL switched"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("memlat missing %q", needle)
+		}
+	}
+}
+
+func TestFailoverOutput(t *testing.T) {
+	out := runExp(t, "failover")
+	if !strings.Contains(out, "downtime") || !strings.Contains(out, "faster than switch") {
+		t.Errorf("failover output malformed:\n%s", out)
+	}
+}
+
+func TestAblationsOutput(t *testing.T) {
+	out := runExp(t, "ablate")
+	for _, needle := range []string{"ntstore", "write+clflush", "stale", "MHD direct", "CXL switch", "interleave"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("ablate missing %q", needle)
+		}
+	}
+}
+
+func TestToRlessOutput(t *testing.T) {
+	out := runExp(t, "torless")
+	for _, needle := range []string{"single-ToR", "dual-ToR", "ToR-less"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("torless missing %q", needle)
+		}
+	}
+}
+
+func TestFigure3PanelOutput(t *testing.T) {
+	// One small panel (not the full sweep) to keep test time sane.
+	var buf bytes.Buffer
+	if err := Figure3Panel(&buf, 75, 42); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "DDR") || !strings.Contains(out, "CXL") {
+		t.Errorf("figure3 panel missing series:\n%s", out)
+	}
+	if !strings.Contains(out, "p99 us") {
+		t.Error("figure3 panel missing percentile columns")
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	a := runExp(t, "figure2")
+	b := runExp(t, "figure2")
+	if a != b {
+		t.Fatal("figure2 output not deterministic")
+	}
+	c := runExp(t, "figure4")
+	d := runExp(t, "figure4")
+	if c != d {
+		t.Fatal("figure4 output not deterministic")
+	}
+}
+
+func TestPooledNICOutput(t *testing.T) {
+	out := runExp(t, "pooled")
+	if !strings.Contains(out, "local NIC") || !strings.Contains(out, "pooled NIC") {
+		t.Errorf("pooled output malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "pooling adds") {
+		t.Error("pooled output missing delta line")
+	}
+}
+
+func TestStorageOutput(t *testing.T) {
+	out := runExp(t, "storage")
+	for _, needle := range []string{"TLC NAND", "fast SCM", "NVMe-oF", "CXL pool", "fabric tax"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("storage output missing %q", needle)
+		}
+	}
+}

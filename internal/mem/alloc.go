@@ -1,0 +1,107 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Allocator hands out cacheline-aligned blocks from an address range.
+// It is a first-fit free-list allocator with coalescing on free — simple,
+// deterministic, and sufficient for I/O buffer pools, which is what the
+// paper places in CXL memory (§4.1: "TX and RX buffers, not the TX/RX
+// queues").
+type Allocator struct {
+	base Address
+	size int
+	free []span // sorted by base, non-adjacent (coalesced)
+	used map[Address]int
+}
+
+type span struct {
+	base Address
+	size int
+}
+
+// NewAllocator manages [base, base+size). Base and size are rounded
+// inward to cacheline alignment.
+func NewAllocator(base Address, size int) *Allocator {
+	alignedBase := AlignUp(base)
+	end := AlignDown(base + Address(size))
+	if end <= alignedBase {
+		panic(fmt.Sprintf("mem: allocator range [%#x,+%d) too small after alignment",
+			uint64(base), size))
+	}
+	sz := int(end - alignedBase)
+	return &Allocator{
+		base: alignedBase,
+		size: sz,
+		free: []span{{base: alignedBase, size: sz}},
+		used: make(map[Address]int),
+	}
+}
+
+// Size returns the total managed bytes.
+func (a *Allocator) Size() int { return a.size }
+
+// FreeBytes returns the number of currently unallocated bytes.
+func (a *Allocator) FreeBytes() int {
+	n := 0
+	for _, s := range a.free {
+		n += s.size
+	}
+	return n
+}
+
+// UsedBytes returns the number of currently allocated bytes.
+func (a *Allocator) UsedBytes() int { return a.size - a.FreeBytes() }
+
+// Alloc returns the base address of a new cacheline-aligned block of at
+// least n bytes (rounded up to a multiple of the cacheline size).
+func (a *Allocator) Alloc(n int) (Address, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("mem: alloc of non-positive size %d", n)
+	}
+	n = int(AlignUp(Address(n)))
+	for i, s := range a.free {
+		if s.size >= n {
+			addr := s.base
+			if s.size == n {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			} else {
+				a.free[i] = span{base: s.base + Address(n), size: s.size - n}
+			}
+			a.used[addr] = n
+			return addr, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: want %d bytes, %d free (fragmented into %d spans)",
+		ErrNoSpace, n, a.FreeBytes(), len(a.free))
+}
+
+// Free releases a block previously returned by Alloc.
+func (a *Allocator) Free(addr Address) error {
+	n, ok := a.used[addr]
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrBadFree, uint64(addr))
+	}
+	delete(a.used, addr)
+	// Insert into sorted free list and coalesce with neighbors.
+	idx := sort.Search(len(a.free), func(i int) bool { return a.free[i].base > addr })
+	a.free = append(a.free, span{})
+	copy(a.free[idx+1:], a.free[idx:])
+	a.free[idx] = span{base: addr, size: n}
+	// Coalesce with next.
+	if idx+1 < len(a.free) && a.free[idx].base+Address(a.free[idx].size) == a.free[idx+1].base {
+		a.free[idx].size += a.free[idx+1].size
+		a.free = append(a.free[:idx+1], a.free[idx+2:]...)
+	}
+	// Coalesce with previous.
+	if idx > 0 && a.free[idx-1].base+Address(a.free[idx-1].size) == a.free[idx].base {
+		a.free[idx-1].size += a.free[idx].size
+		a.free = append(a.free[:idx], a.free[idx+1:]...)
+	}
+	return nil
+}
+
+// AllocCount returns the number of live allocations.
+func (a *Allocator) AllocCount() int { return len(a.used) }

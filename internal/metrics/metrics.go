@@ -1,0 +1,325 @@
+// Package metrics provides the measurement primitives used by every
+// experiment in this repository: streaming latency recorders with exact
+// percentiles, log-bucketed histograms, CDF extraction, and throughput
+// counters.
+//
+// Experiments record simulated durations (internal/sim.Time deltas) and
+// report the same statistics the paper plots: p50/p90/p99 latency
+// (Figure 3), full CDFs (Figure 4), and mean utilization/stranding
+// percentages (Figure 2).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Recorder collects individual samples and computes exact order
+// statistics. It keeps all samples; experiments in this repo record at
+// most a few million points, for which exact percentiles are affordable
+// and avoid approximation artifacts in the reproduced figures.
+type Recorder struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// NewRecorder returns an empty recorder with capacity hint n.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{samples: make([]float64, 0, n)}
+}
+
+// Record adds one sample.
+func (r *Recorder) Record(v float64) {
+	r.samples = append(r.samples, v)
+	r.sorted = false
+	r.sum += v
+}
+
+// Count returns the number of recorded samples.
+func (r *Recorder) Count() int { return len(r.samples) }
+
+// Sum returns the sum of all samples.
+func (r *Recorder) Sum() float64 { return r.sum }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (r *Recorder) Mean() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.sum / float64(len(r.samples))
+}
+
+func (r *Recorder) sortSamples() {
+	if !r.sorted {
+		sort.Float64s(r.samples)
+		r.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. It returns 0 with no samples.
+func (r *Recorder) Percentile(p float64) float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	r.sortSamples()
+	if len(r.samples) == 1 {
+		return r.samples[0]
+	}
+	rank := p / 100 * float64(len(r.samples)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return r.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return r.samples[lo]*(1-frac) + r.samples[hi]*frac
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (r *Recorder) Min() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.sortSamples()
+	return r.samples[0]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (r *Recorder) Max() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.sortSamples()
+	return r.samples[len(r.samples)-1]
+}
+
+// Stddev returns the population standard deviation.
+func (r *Recorder) Stddev() float64 {
+	n := len(r.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := r.Mean()
+	var ss float64
+	for _, v := range r.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Reset discards all samples but keeps the allocated capacity.
+func (r *Recorder) Reset() {
+	r.samples = r.samples[:0]
+	r.sorted = false
+	r.sum = 0
+}
+
+// CDFPoint is one point of an empirical CDF: fraction F of samples are
+// <= Value.
+type CDFPoint struct {
+	Value float64
+	F     float64
+}
+
+// CDF returns the empirical CDF downsampled to at most maxPoints points
+// (always including min and max). With no samples it returns nil.
+func (r *Recorder) CDF(maxPoints int) []CDFPoint {
+	n := len(r.samples)
+	if n == 0 {
+		return nil
+	}
+	if maxPoints < 2 {
+		maxPoints = 2
+	}
+	r.sortSamples()
+	if maxPoints > n {
+		maxPoints = n
+	}
+	pts := make([]CDFPoint, 0, maxPoints)
+	for i := 0; i < maxPoints; i++ {
+		idx := i * (n - 1) / (maxPoints - 1)
+		pts = append(pts, CDFPoint{
+			Value: r.samples[idx],
+			F:     float64(idx+1) / float64(n),
+		})
+	}
+	return pts
+}
+
+// Summary is a compact digest of a recorder, convenient for table rows.
+type Summary struct {
+	Count               int
+	Mean, Min, Max      float64
+	P50, P90, P99, P999 float64
+	Stddev              float64
+}
+
+// Summarize computes the standard digest.
+func (r *Recorder) Summarize() Summary {
+	return Summary{
+		Count:  r.Count(),
+		Mean:   r.Mean(),
+		Min:    r.Min(),
+		Max:    r.Max(),
+		P50:    r.Percentile(50),
+		P90:    r.Percentile(90),
+		P99:    r.Percentile(99),
+		P999:   r.Percentile(99.9),
+		Stddev: r.Stddev(),
+	}
+}
+
+// String renders the summary as a single line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%.1f p90=%.1f p99=%.1f max=%.1f",
+		s.Count, s.Mean, s.P50, s.P90, s.P99, s.Max)
+}
+
+// Histogram is a log₂-bucketed histogram for cheap, bounded-memory counts
+// when exact percentiles are not needed (e.g. long orchestrator runs).
+type Histogram struct {
+	buckets [64]uint64
+	count   uint64
+	sum     float64
+}
+
+// Observe adds a non-negative value; negative values count in bucket 0.
+func (h *Histogram) Observe(v float64) {
+	h.count++
+	h.sum += v
+	if v < 1 {
+		h.buckets[0]++
+		return
+	}
+	b := int(math.Log2(v)) + 1
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
+	}
+	h.buckets[b]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the mean of observations.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile returns an upper bound of the q-quantile (0<=q<=1) from bucket
+// boundaries.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum > target {
+			if i == 0 {
+				return 1
+			}
+			return math.Pow(2, float64(i))
+		}
+	}
+	return math.Pow(2, float64(len(h.buckets)))
+}
+
+// Counter accumulates a monotone count (bytes, packets, operations) and
+// converts to a rate over a simulated interval.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// RatePerSec converts the count into a per-second rate given an elapsed
+// simulated duration in nanoseconds.
+func (c *Counter) RatePerSec(elapsedNs int64) float64 {
+	if elapsedNs <= 0 {
+		return 0
+	}
+	return float64(c.n) / (float64(elapsedNs) / 1e9)
+}
+
+// Table is a minimal fixed-width text table writer used by the benchmark
+// harness to print the paper's rows.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

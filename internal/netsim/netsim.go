@@ -1,0 +1,178 @@
+// Package netsim models the Ethernet fabric between simulated NICs: a
+// top-of-rack (ToR) switch with per-port egress queues, wire
+// propagation, and failure injection.
+//
+// It stands in for the "common 100 Gbps switch" of the paper's Figure 3
+// testbed and provides the ToR/dual-ToR/aggregation failure models the
+// §5 "datacenter networks without ToRs" discussion needs.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"cxlpool/internal/mem"
+	"cxlpool/internal/sim"
+)
+
+// Frame overheads on the wire.
+const (
+	// HeaderBytes is Ethernet+IP+UDP header bytes per packet.
+	HeaderBytes = 42
+	// FramingBytes is preamble + FCS + inter-frame gap.
+	FramingBytes = 24
+)
+
+// WireBytes returns the on-wire size for a payload.
+func WireBytes(payload int) int { return payload + HeaderBytes + FramingBytes }
+
+// Default fabric timing.
+const (
+	// DefaultPropagation is one hop of cable + PHY latency.
+	DefaultPropagation sim.Duration = 450
+	// DefaultForwardLatency is the switch's cut-through forwarding time.
+	DefaultForwardLatency sim.Duration = 600
+)
+
+// Packet is one frame in flight. Payload is carried by value so data
+// integrity is testable end to end.
+type Packet struct {
+	Src, Dst string
+	Payload  []byte
+	// Stamp is the sender's send-initiation time, used by clients to
+	// compute RTT.
+	Stamp sim.Time
+	// Seq is a sender-assigned sequence number.
+	Seq uint64
+}
+
+// Receiver is anything that can accept frames from the fabric (a NIC).
+type Receiver interface {
+	FromWire(now sim.Time, p *Packet)
+}
+
+// Errors.
+var (
+	ErrUnknownPort = errors.New("netsim: unknown port")
+	ErrFabricDown  = errors.New("netsim: fabric down")
+)
+
+type port struct {
+	name string
+	rx   Receiver
+	// egressBusy is the switch-side egress serialization point toward
+	// this port.
+	egressBusy sim.Time
+	// rate is the port line rate.
+	rate mem.GBps
+	// queued counts frames waiting on this egress right now; used for a
+	// crude tail-drop model.
+	queueLimit int
+	drops      uint64
+	forwarded  uint64
+}
+
+// Fabric is a single-switch star topology (one ToR).
+type Fabric struct {
+	name    string
+	engine  *sim.Engine
+	ports   map[string]*port
+	propag  sim.Duration
+	forward sim.Duration
+	down    bool
+
+	// MaxQueueDelay bounds egress queueing; frames that would wait
+	// longer are tail-dropped (switch buffer limit). Zero disables.
+	MaxQueueDelay sim.Duration
+}
+
+// NewFabric creates a fabric driven by the given engine.
+func NewFabric(name string, engine *sim.Engine) *Fabric {
+	return &Fabric{
+		name:    name,
+		engine:  engine,
+		ports:   make(map[string]*port),
+		propag:  DefaultPropagation,
+		forward: DefaultForwardLatency,
+	}
+}
+
+// Attach connects a receiver at the given port name and line rate.
+func (f *Fabric) Attach(name string, rate mem.GBps, rx Receiver) error {
+	if _, ok := f.ports[name]; ok {
+		return fmt.Errorf("netsim: port %q already attached to %s", name, f.name)
+	}
+	if rate <= 0 {
+		return fmt.Errorf("netsim: port %q with non-positive rate", name)
+	}
+	f.ports[name] = &port{name: name, rx: rx, rate: rate}
+	return nil
+}
+
+// Fail takes the whole switch down: all in-flight and future frames are
+// dropped (ToR failure, §5).
+func (f *Fabric) Fail() { f.down = true }
+
+// Repair restores the switch.
+func (f *Fabric) Repair() { f.down = false }
+
+// Down reports the failure state.
+func (f *Fabric) Down() bool { return f.down }
+
+// Drops returns the total tail-dropped frames on all egress ports.
+func (f *Fabric) Drops() uint64 {
+	var n uint64
+	for _, p := range f.ports {
+		n += p.drops
+	}
+	return n
+}
+
+// Inject puts a frame on the wire at time now (the sender NIC has
+// already serialized it onto its own uplink). The fabric forwards it and
+// schedules delivery at the destination. Returns an error for unknown
+// destinations; drops (fabric down, queue overflow) are silent data-path
+// behavior, counted in stats.
+func (f *Fabric) Inject(now sim.Time, p *Packet) error {
+	dst, ok := f.ports[p.Dst]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownPort, p.Dst)
+	}
+	if f.down {
+		dst.drops++
+		return nil
+	}
+	// Uplink propagation + cut-through forwarding.
+	atSwitch := now + f.propag + f.forward
+	// Egress serialization toward dst (the congestion point of a star
+	// topology).
+	start := atSwitch
+	if dst.egressBusy > start {
+		if f.MaxQueueDelay > 0 && dst.egressBusy-start > f.MaxQueueDelay {
+			dst.drops++
+			return nil
+		}
+		start = dst.egressBusy
+	}
+	xfer := dst.rate.TransferTime(WireBytes(len(p.Payload)))
+	dst.egressBusy = start + xfer
+	arrival := start + xfer + f.propag
+	dst.forwarded++
+	f.engine.At(arrival, func() {
+		if f.down {
+			dst.drops++
+			return
+		}
+		dst.rx.FromWire(arrival, p)
+	})
+	return nil
+}
+
+// PortStats returns (forwarded, dropped) for a port.
+func (f *Fabric) PortStats(name string) (forwarded, dropped uint64, err error) {
+	p, ok := f.ports[name]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownPort, name)
+	}
+	return p.forwarded, p.drops, nil
+}

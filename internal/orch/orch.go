@@ -1,0 +1,626 @@
+// Package orch implements the pooling orchestrator of §4.2: the control
+// plane that allocates PCIe devices to hosts, monitors device load and
+// health through records in shared CXL memory, migrates workloads to
+// balance load, and fails over when devices die.
+//
+// "The pooling orchestrator ... handles control plane operations,
+// including allocating PCIe devices to hosts, monitoring resource usage
+// and health status of each PCIe device, and migrating workloads
+// between devices to balance load or handle device failures. Each host
+// runs a pooling agent that monitors and configures the PCIe device.
+// The orchestrator and the agents communicate using shared-memory
+// channels in the shared CXL memory."
+package orch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"cxlpool/internal/core"
+	"cxlpool/internal/metrics"
+	"cxlpool/internal/nicsim"
+	"cxlpool/internal/shm"
+	"cxlpool/internal/sim"
+)
+
+// Policy selects how devices are allocated to hosts.
+type Policy int
+
+const (
+	// LocalFirst is the paper's policy: "the orchestrator first checks
+	// if the host has a local PCIe device that is below a load
+	// threshold. If not, the orchestrator selects the least-utilized
+	// device in the pod."
+	LocalFirst Policy = iota
+	// LeastUtilized always picks the globally least-utilized device
+	// (ablation: ignores locality).
+	LeastUtilized
+	// RoundRobin cycles through devices (ablation baseline).
+	RoundRobin
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case LocalFirst:
+		return "local-first"
+	case LeastUtilized:
+		return "least-utilized"
+	case RoundRobin:
+		return "round-robin"
+	default:
+		return "unknown"
+	}
+}
+
+// Intervals for the control loops.
+const (
+	// DefaultPublishInterval is how often agents publish device health
+	// records to shared memory.
+	DefaultPublishInterval sim.Duration = 50 * sim.Microsecond
+	// DefaultMonitorInterval is how often the orchestrator sweeps the
+	// records.
+	DefaultMonitorInterval sim.Duration = 100 * sim.Microsecond
+	// DefaultLoadThreshold is the utilization above which a local
+	// device is considered too busy for new allocations.
+	DefaultLoadThreshold = 0.7
+)
+
+// Errors.
+var (
+	ErrNoDevices   = errors.New("orch: no usable devices in the pool")
+	ErrUnknownVNIC = errors.New("orch: unknown virtual NIC")
+	ErrUnknownPhys = errors.New("orch: unknown physical device")
+)
+
+// device is the orchestrator's view of one physical NIC.
+type device struct {
+	name  string
+	owner *core.Host
+	nic   *nicsim.NIC
+
+	record *shm.SeqRecord
+
+	// Monitor state.
+	load      float64 // fraction of line rate, from record deltas
+	failed    bool
+	failedAt  sim.Time
+	lastBytes uint64
+	lastSeen  sim.Time
+	handled   bool // failure already failed-over
+}
+
+// Orchestrator is the management-container control plane. It runs on a
+// home host and reaches agents' records through that host's CXL view.
+type Orchestrator struct {
+	pod  *core.Pod
+	home *core.Host
+
+	policy          Policy
+	publishInterval sim.Duration
+	monitorInterval sim.Duration
+	// LoadThreshold gates the local-first fast path.
+	LoadThreshold float64
+	// EnableRebalance turns on load shifting in the monitor sweep.
+	EnableRebalance bool
+	// RebalanceGap is the max-min load gap that triggers a migration.
+	RebalanceGap float64
+
+	devices map[string]*device
+	order   []string
+	rrNext  int
+
+	vnics  map[string]*core.VirtualNIC
+	assign map[string]string // vNIC name -> device name
+
+	// ctl carries automatic-failover commands to user-host agents over
+	// shared-memory channels (§4.2); acks update the assignment map and
+	// record downtime.
+	ctl *core.ControlPlane
+	// pendingRemap tracks in-flight remap commands: vNIC -> target dev.
+	pendingRemap map[string]string
+
+	started bool
+	stopped bool
+
+	// Stats.
+	failovers  uint64
+	migrations uint64
+	sweeps     uint64
+
+	// FailoverTime records detection-to-remap latency (ns), measured
+	// from the failure timestamp the agent published.
+	FailoverTime *metrics.Recorder
+}
+
+// New creates an orchestrator homed on the named host.
+func New(pod *core.Pod, homeHost string, policy Policy) (*Orchestrator, error) {
+	home, err := pod.Host(homeHost)
+	if err != nil {
+		return nil, err
+	}
+	o := &Orchestrator{
+		pod:             pod,
+		home:            home,
+		policy:          policy,
+		publishInterval: DefaultPublishInterval,
+		monitorInterval: DefaultMonitorInterval,
+		LoadThreshold:   DefaultLoadThreshold,
+		RebalanceGap:    0.3,
+		devices:         make(map[string]*device),
+		vnics:           make(map[string]*core.VirtualNIC),
+		assign:          make(map[string]string),
+		pendingRemap:    make(map[string]string),
+		ctl:             core.NewControlPlane(pod, home),
+		FailoverTime:    metrics.NewRecorder(64),
+	}
+	o.ctl.OnAck = o.handleRemapAck
+	return o, nil
+}
+
+// handleRemapAck completes an asynchronous failover remap: the user
+// host's agent has executed the rebind.
+func (o *Orchestrator) handleRemapAck(now sim.Time, vnic, dev string, stamp sim.Time, ok bool) {
+	want, pending := o.pendingRemap[vnic]
+	if !pending || want != dev {
+		return
+	}
+	delete(o.pendingRemap, vnic)
+	if !ok {
+		return // command failed; the next sweep retries
+	}
+	o.assign[vnic] = dev
+	o.failovers++
+	if stamp > 0 {
+		o.FailoverTime.Record(float64(now - stamp))
+	}
+}
+
+// SetIntervals overrides the control-loop cadences (for tests and
+// ablations).
+func (o *Orchestrator) SetIntervals(publish, monitor sim.Duration) {
+	if publish > 0 {
+		o.publishInterval = publish
+	}
+	if monitor > 0 {
+		o.monitorInterval = monitor
+	}
+}
+
+// Stats returns (failovers, migrations, sweeps).
+func (o *Orchestrator) Stats() (failovers, migrations, sweeps uint64) {
+	return o.failovers, o.migrations, o.sweeps
+}
+
+// RegisterDevice places a physical NIC under pool management and
+// allocates its health record in shared memory.
+func (o *Orchestrator) RegisterDevice(owner *core.Host, nicName string) error {
+	nic, err := owner.NIC(nicName)
+	if err != nil {
+		return err
+	}
+	if _, ok := o.devices[nicName]; ok {
+		return fmt.Errorf("orch: device %q already registered", nicName)
+	}
+	addr, err := o.pod.SharedAlloc(shm.SeqRecordFootprint)
+	if err != nil {
+		return err
+	}
+	rec, err := shm.NewSeqRecord(addr)
+	if err != nil {
+		return err
+	}
+	o.devices[nicName] = &device{name: nicName, owner: owner, nic: nic, record: rec}
+	o.order = append(o.order, nicName)
+	return nil
+}
+
+// RegisterAll places every NIC in the pod under management.
+func (o *Orchestrator) RegisterAll() error {
+	for _, hn := range o.pod.Hosts() {
+		h, err := o.pod.Host(hn)
+		if err != nil {
+			return err
+		}
+		nics := h.NICs()
+		sort.Slice(nics, func(i, j int) bool { return nics[i].Name() < nics[j].Name() })
+		for _, n := range nics {
+			if err := o.RegisterDevice(h, n.Name()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Devices returns managed device names in registration order.
+func (o *Orchestrator) Devices() []string {
+	out := make([]string, len(o.order))
+	copy(out, o.order)
+	return out
+}
+
+// Load returns the monitor's last load estimate for a device.
+func (o *Orchestrator) Load(dev string) (float64, error) {
+	d, ok := o.devices[dev]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownPhys, dev)
+	}
+	return d.load, nil
+}
+
+// Assignment returns the device currently backing a vNIC.
+func (o *Orchestrator) Assignment(vnic string) (string, error) {
+	dev, ok := o.assign[vnic]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownVNIC, vnic)
+	}
+	return dev, nil
+}
+
+// recordPayload encodes a device health record:
+// [txBytes u64][rxDrops u64][failedAt i64][failed u8].
+func recordPayload(n *nicsim.NIC, failedAt sim.Time) []byte {
+	buf := make([]byte, 32)
+	tx, _, txb, _, drops := n.Stats()
+	_ = tx
+	binary.LittleEndian.PutUint64(buf[0:8], txb)
+	binary.LittleEndian.PutUint64(buf[8:16], drops)
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(failedAt))
+	if n.Failed() {
+		buf[24] = 1
+	}
+	return buf
+}
+
+// Start launches the agent publishers and the monitor loop.
+func (o *Orchestrator) Start() error {
+	if o.started {
+		return errors.New("orch: already started")
+	}
+	if len(o.devices) == 0 {
+		return ErrNoDevices
+	}
+	o.started = true
+	engine := o.pod.Engine
+	// One publisher loop per owning host (the host's pooling agent).
+	byHost := make(map[string][]*device)
+	for _, name := range o.order {
+		d := o.devices[name]
+		byHost[d.owner.Name()] = append(byHost[d.owner.Name()], d)
+	}
+	for _, devs := range byHost {
+		devs := devs
+		var publish func(t sim.Time)
+		publish = func(t sim.Time) {
+			if o.stopped {
+				return
+			}
+			cur := t
+			for _, d := range devs {
+				// Stamp the first failure observation.
+				if d.nic.Failed() && d.failedAt == 0 {
+					d.failedAt = cur
+				}
+				pd, err := d.record.Publish(cur, d.owner.Cache(), recordPayload(d.nic, d.failedAt))
+				if err == nil {
+					cur += pd
+				}
+			}
+			engine.At(cur+o.publishInterval, func() { publish(cur + o.publishInterval) })
+		}
+		engine.At(engine.Now()+o.publishInterval, func() { publish(engine.Now()) })
+	}
+	// Monitor loop.
+	var sweep func(t sim.Time)
+	sweep = func(t sim.Time) {
+		if o.stopped {
+			return
+		}
+		end := o.monitorSweep(t)
+		engine.At(end+o.monitorInterval, func() { sweep(end + o.monitorInterval) })
+	}
+	engine.At(engine.Now()+o.monitorInterval, func() { sweep(engine.Now() + o.monitorInterval) })
+	return nil
+}
+
+// Stop halts the control loops (pending events fire once more and
+// no-op).
+func (o *Orchestrator) Stop() { o.stopped = true }
+
+// monitorSweep reads every record, updates load estimates, triggers
+// failovers and (optionally) rebalancing. Returns the advanced cursor.
+func (o *Orchestrator) monitorSweep(t sim.Time) sim.Time {
+	o.sweeps++
+	cur := t
+	for _, name := range o.order {
+		d := o.devices[name]
+		body, rd, err := d.record.Read(cur, o.home.Cache(), 0)
+		cur += rd
+		if err != nil {
+			continue
+		}
+		txBytes := binary.LittleEndian.Uint64(body[0:8])
+		failedAt := sim.Time(binary.LittleEndian.Uint64(body[16:24]))
+		failed := body[24] == 1
+		if d.lastSeen > 0 && cur > d.lastSeen && txBytes >= d.lastBytes {
+			rate := float64(txBytes-d.lastBytes) / (cur - d.lastSeen).Seconds()
+			inst := rate / (float64(d.nic.LineRate()) * 1e9)
+			// EWMA smoothing keeps the rebalancer from thrashing on
+			// bursty traffic.
+			d.load = 0.5*d.load + 0.5*inst
+		}
+		d.lastBytes = txBytes
+		d.lastSeen = cur
+		d.failed = failed
+		if failed && failedAt > 0 {
+			d.failedAt = failedAt
+		}
+		if failed && !d.handled {
+			cur = o.failover(cur, d)
+		}
+		if !failed && d.handled {
+			// Device repaired: readmit.
+			d.handled = false
+			d.failedAt = 0
+		}
+	}
+	if o.EnableRebalance {
+		cur = o.rebalance(cur)
+	}
+	return cur
+}
+
+// failover issues remap commands for every vNIC on a failed device,
+// through the shared-memory control plane. Completion (assignment
+// update, downtime recording) happens when the user host's agent acks.
+func (o *Orchestrator) failover(now sim.Time, failedDev *device) sim.Time {
+	failedDev.handled = true
+	cur := now
+	for vname, dname := range o.assign {
+		if dname != failedDev.name {
+			continue
+		}
+		if _, inflight := o.pendingRemap[vname]; inflight {
+			continue
+		}
+		v := o.vnics[vname]
+		repl, err := o.pick(v.User(), failedDev.name)
+		if err != nil {
+			continue // nothing to fail over to; vNIC stays broken
+		}
+		d, err := o.ctl.SendRemap(cur, v.User(), vname, repl.owner.Name(), repl.name, failedDev.failedAt)
+		cur += d
+		if err != nil {
+			continue // channel full; retried next sweep
+		}
+		o.pendingRemap[vname] = repl.name
+	}
+	return cur
+}
+
+// doMigrate remaps a vNIC onto dev and updates bookkeeping.
+func (o *Orchestrator) doMigrate(now sim.Time, v *core.VirtualNIC, dev *device) sim.Duration {
+	d, err := v.Remap(dev.owner, dev.name)
+	if err != nil {
+		return 0
+	}
+	o.assign[v.Name()] = dev.name
+	return d
+}
+
+// pick selects a replacement/allocation device for user per the policy,
+// excluding `exclude` and failed devices.
+func (o *Orchestrator) pick(user *core.Host, exclude string) (*device, error) {
+	usable := func(d *device) bool {
+		return d.name != exclude && !d.failed && !d.nic.Failed()
+	}
+	switch o.policy {
+	case RoundRobin:
+		for i := 0; i < len(o.order); i++ {
+			d := o.devices[o.order[o.rrNext%len(o.order)]]
+			o.rrNext++
+			if usable(d) {
+				return d, nil
+			}
+		}
+		return nil, ErrNoDevices
+	case LocalFirst:
+		// Local device under threshold wins.
+		var bestLocal *device
+		for _, name := range o.order {
+			d := o.devices[name]
+			if usable(d) && d.owner == user && d.load < o.LoadThreshold {
+				if bestLocal == nil || d.load < bestLocal.load {
+					bestLocal = d
+				}
+			}
+		}
+		if bestLocal != nil {
+			return bestLocal, nil
+		}
+		fallthrough
+	case LeastUtilized:
+		var best *device
+		for _, name := range o.order {
+			d := o.devices[name]
+			if !usable(d) {
+				continue
+			}
+			if best == nil || d.load < best.load {
+				best = d
+			}
+		}
+		if best == nil {
+			return nil, ErrNoDevices
+		}
+		return best, nil
+	default:
+		return nil, fmt.Errorf("orch: unknown policy %d", o.policy)
+	}
+}
+
+// Allocate binds a new virtual NIC for user per the allocation policy
+// (§4.2) and returns it.
+func (o *Orchestrator) Allocate(user *core.Host, vnicName string, cfg core.VNICConfig) (*core.VirtualNIC, error) {
+	if _, ok := o.vnics[vnicName]; ok {
+		return nil, fmt.Errorf("orch: vNIC %q already exists", vnicName)
+	}
+	d, err := o.pick(user, "")
+	if err != nil {
+		return nil, err
+	}
+	v := core.NewVirtualNIC(user, vnicName, cfg)
+	if _, err := v.Bind(d.owner, d.name); err != nil {
+		return nil, err
+	}
+	o.vnics[vnicName] = v
+	o.assign[vnicName] = d.name
+	return v, nil
+}
+
+// Migrate explicitly moves a vNIC to a named device (operator action).
+func (o *Orchestrator) Migrate(vnicName, devName string) error {
+	v, ok := o.vnics[vnicName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownVNIC, vnicName)
+	}
+	d, ok := o.devices[devName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownPhys, devName)
+	}
+	if o.doMigrate(o.pod.Engine.Now(), v, d) == 0 {
+		return fmt.Errorf("orch: migration of %q to %q failed", vnicName, devName)
+	}
+	o.migrations++
+	return nil
+}
+
+// Harvest allocates up to n virtual NICs for one host, each backed by
+// a DISTINCT physical device — the §1 "peak performance" use case:
+// "during demand spikes, a host can harvest all the PCIe devices in
+// the pool to achieve higher aggregated performance." Returns the
+// handles; fewer than n if the pool is smaller.
+func (o *Orchestrator) Harvest(user *core.Host, namePrefix string, n int, cfg core.VNICConfig) ([]*core.VirtualNIC, error) {
+	if n <= 0 {
+		return nil, errors.New("orch: harvest count must be positive")
+	}
+	used := map[string]bool{}
+	for _, dname := range o.assign {
+		used[dname] = true
+	}
+	var out []*core.VirtualNIC
+	for _, dname := range o.order {
+		if len(out) == n {
+			break
+		}
+		d := o.devices[dname]
+		if d.failed || d.nic.Failed() || used[dname] {
+			continue
+		}
+		vname := fmt.Sprintf("%s-%d", namePrefix, len(out))
+		v := core.NewVirtualNIC(user, vname, cfg)
+		if _, err := v.Bind(d.owner, d.name); err != nil {
+			return out, err
+		}
+		o.vnics[vname] = v
+		o.assign[vname] = d.name
+		used[dname] = true
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, ErrNoDevices
+	}
+	return out, nil
+}
+
+// rebalance moves one vNIC from the most- to the least-loaded device
+// when the gap exceeds RebalanceGap (§4.2 load balancing).
+func (o *Orchestrator) rebalance(now sim.Time) sim.Time {
+	var hot, cold *device
+	for _, name := range o.order {
+		d := o.devices[name]
+		if d.failed {
+			continue
+		}
+		if hot == nil || d.load > hot.load {
+			hot = d
+		}
+		if cold == nil || d.load < cold.load {
+			cold = d
+		}
+	}
+	if hot == nil || cold == nil || hot == cold || hot.load-cold.load < o.RebalanceGap {
+		return now
+	}
+	// Move one vNIC off the hot device.
+	for vname, dname := range o.assign {
+		if dname != hot.name {
+			continue
+		}
+		v := o.vnics[vname]
+		d := o.doMigrate(now, v, cold)
+		if d > 0 {
+			o.migrations++
+			// Avoid thrashing: assume the moved flow's load follows it.
+			cold.load, hot.load = hot.load, cold.load
+			return now + d
+		}
+	}
+	return now
+}
+
+// DrainHost migrates every assignment away from a host's devices (for
+// maintenance hot-remove, §5) and returns the migrated vNIC count.
+func (o *Orchestrator) DrainHost(host string) (int, error) {
+	h, err := o.pod.Host(host)
+	if err != nil {
+		return 0, err
+	}
+	moved := 0
+	now := o.pod.Engine.Now()
+	for vname, dname := range o.assign {
+		d := o.devices[dname]
+		if d.owner != h {
+			continue
+		}
+		v := o.vnics[vname]
+		repl, err := o.pickExcludingHost(v.User(), h)
+		if err != nil {
+			return moved, fmt.Errorf("orch: draining %s: %w", host, err)
+		}
+		if dd := o.doMigrate(now, v, repl); dd > 0 {
+			moved++
+			o.migrations++
+		}
+	}
+	// Mark the host's devices unusable for future picks.
+	for _, name := range o.order {
+		d := o.devices[name]
+		if d.owner == h {
+			d.failed = true
+			d.handled = true
+		}
+	}
+	return moved, nil
+}
+
+// pickExcludingHost picks a device not owned by h.
+func (o *Orchestrator) pickExcludingHost(user *core.Host, h *core.Host) (*device, error) {
+	var best *device
+	for _, name := range o.order {
+		d := o.devices[name]
+		if d.owner == h || d.failed || d.nic.Failed() {
+			continue
+		}
+		if best == nil || d.load < best.load {
+			best = d
+		}
+	}
+	if best == nil {
+		return nil, ErrNoDevices
+	}
+	return best, nil
+}

@@ -1,0 +1,242 @@
+// Package pcie models generic PCIe endpoint devices — MMIO register
+// files, doorbells, and DMA engines — plus the hardware PCIe switch that
+// is the paper's baseline for device pooling.
+//
+// Devices in this repository (nicsim, ssdsim) embed an Endpoint. The
+// Endpoint's DMA engine targets a mem.Memory, which is how the paper's
+// key observation is expressed in code: a PCIe device does not care
+// whether the buffer it DMAs to is local DDR or CXL pool memory — it is
+// just an address (§1: "PCIe devices can directly use CXL memory as I/O
+// buffers without device modifications").
+package pcie
+
+import (
+	"errors"
+	"fmt"
+
+	"cxlpool/internal/mem"
+	"cxlpool/internal/sim"
+)
+
+// Timing constants for PCIe transactions.
+const (
+	// MMIOWriteLatency is a posted MMIO write (doorbell ring) to a
+	// locally attached device.
+	MMIOWriteLatency sim.Duration = 130
+	// MMIOReadLatency is a non-posted MMIO read round trip to a locally
+	// attached device.
+	MMIOReadLatency sim.Duration = 850
+	// DMASetupLatency is the per-transfer TLP processing overhead of a
+	// device-initiated DMA.
+	DMASetupLatency sim.Duration = 90
+	// SwitchHopLatency is the extra latency a hardware PCIe switch adds
+	// per crossing (measured ~105-150 ns per hop on Switchtec-class
+	// parts; cross-host routed paths pay it both ways).
+	SwitchHopLatency sim.Duration = 130
+)
+
+// LaneBandwidthGen5 is effective per-lane PCIe 5.0 bandwidth.
+const LaneBandwidthGen5 mem.GBps = 3.75
+
+// LinkConfig is the PCIe link shape of a device.
+type LinkConfig struct {
+	Lanes int
+	Gen   int
+}
+
+// Bandwidth returns the effective one-direction link bandwidth.
+func (c LinkConfig) Bandwidth() mem.GBps {
+	per := LaneBandwidthGen5
+	switch {
+	case c.Gen >= 6:
+		per *= 2
+	case c.Gen == 4:
+		per /= 2
+	case c.Gen <= 3 && c.Gen > 0:
+		per /= 4
+	}
+	return per * mem.GBps(c.Lanes)
+}
+
+// Errors.
+var (
+	ErrDeviceFailed = errors.New("pcie: device failed")
+	ErrNoDMATarget  = errors.New("pcie: DMA engine not attached to host memory")
+	ErrBadRegister  = errors.New("pcie: unknown MMIO register")
+)
+
+// Registers is a sparse MMIO register file (BAR0-style).
+type Registers struct {
+	regs map[uint32]uint64
+}
+
+// NewRegisters returns an empty register file.
+func NewRegisters() *Registers { return &Registers{regs: make(map[uint32]uint64)} }
+
+// Load returns the register value (0 if never written).
+func (r *Registers) Load(off uint32) uint64 { return r.regs[off] }
+
+// Store sets a register value.
+func (r *Registers) Store(off uint32, v uint64) { r.regs[off] = v }
+
+// Endpoint is a PCIe device function: identity, link, register file, and
+// a DMA engine bound to the host's physical memory.
+type Endpoint struct {
+	name string
+	link LinkConfig
+	bar  *Registers
+
+	// hostMem is the memory the device can DMA to/from: the attaching
+	// host's address space (local DRAM and, when buffers live in the
+	// pool, the CXL window).
+	hostMem mem.Memory
+
+	// Fluid queue for the device's PCIe link (see mem.Region.access for
+	// why fluid rather than busy-until).
+	backlogBytes float64
+	lastDrain    sim.Time
+
+	failed bool
+
+	// doorbell handlers: MMIO writes to registered offsets invoke
+	// device-model callbacks (e.g. NIC TX doorbell).
+	doorbells map[uint32]func(now sim.Time, v uint64)
+
+	// Stats.
+	dmaReads, dmaWrites     uint64
+	dmaBytesIn, dmaBytesOut uint64
+	mmioWrites, mmioReads   uint64
+}
+
+// NewEndpoint creates a device endpoint with the given link shape.
+func NewEndpoint(name string, link LinkConfig) *Endpoint {
+	if link.Lanes <= 0 {
+		panic(fmt.Sprintf("pcie: endpoint %q with no lanes", name))
+	}
+	return &Endpoint{
+		name:      name,
+		link:      link,
+		bar:       NewRegisters(),
+		doorbells: make(map[uint32]func(sim.Time, uint64)),
+	}
+}
+
+// Name returns the device name.
+func (e *Endpoint) Name() string { return e.name }
+
+// Link returns the device link shape.
+func (e *Endpoint) Link() LinkConfig { return e.link }
+
+// Registers exposes the BAR for device models.
+func (e *Endpoint) Registers() *Registers { return e.bar }
+
+// AttachHostMemory points the DMA engine at the host address space.
+func (e *Endpoint) AttachHostMemory(m mem.Memory) { e.hostMem = m }
+
+// HostMemory returns the current DMA target.
+func (e *Endpoint) HostMemory() mem.Memory { return e.hostMem }
+
+// Fail marks the device failed; DMA and MMIO error until Repair (§2.2
+// device-failure scenarios).
+func (e *Endpoint) Fail() { e.failed = true }
+
+// Repair clears the failure.
+func (e *Endpoint) Repair() { e.failed = false }
+
+// Failed reports failure state.
+func (e *Endpoint) Failed() bool { return e.failed }
+
+// OnDoorbell registers a callback invoked when the CPU writes register
+// off.
+func (e *Endpoint) OnDoorbell(off uint32, fn func(now sim.Time, v uint64)) {
+	e.doorbells[off] = fn
+}
+
+// Stats returns DMA counters.
+func (e *Endpoint) Stats() (dmaReads, dmaWrites, bytesIn, bytesOut uint64) {
+	return e.dmaReads, e.dmaWrites, e.dmaBytesIn, e.dmaBytesOut
+}
+
+// linkTime serializes n bytes on the device link starting at now, using
+// a fluid backlog queue.
+func (e *Endpoint) linkTime(now sim.Time, n int) sim.Duration {
+	bw := e.link.Bandwidth()
+	if now > e.lastDrain {
+		e.backlogBytes -= float64(bw.Bytes(now - e.lastDrain))
+		if e.backlogBytes < 0 {
+			e.backlogBytes = 0
+		}
+		e.lastDrain = now
+	}
+	queue := bw.TransferTime(int(e.backlogBytes))
+	e.backlogBytes += float64(n)
+	return queue + bw.TransferTime(n)
+}
+
+// DMARead is a device-initiated read of host memory (e.g. NIC fetching
+// a TX payload). The returned latency covers TLP setup, the host memory
+// access (which is where CXL vs DDR placement shows up), and link
+// serialization.
+func (e *Endpoint) DMARead(now sim.Time, a mem.Address, buf []byte) (sim.Duration, error) {
+	if e.failed {
+		return 0, fmt.Errorf("%w: %s", ErrDeviceFailed, e.name)
+	}
+	if e.hostMem == nil {
+		return 0, ErrNoDMATarget
+	}
+	d := DMASetupLatency
+	md, err := e.hostMem.ReadAt(now+d, a, buf)
+	if err != nil {
+		return 0, fmt.Errorf("pcie %s: DMA read: %w", e.name, err)
+	}
+	d += md
+	d += e.linkTime(now+d, len(buf))
+	e.dmaReads++
+	e.dmaBytesOut += uint64(len(buf))
+	return d, nil
+}
+
+// DMAWrite is a device-initiated write to host memory (e.g. NIC
+// delivering an RX payload).
+func (e *Endpoint) DMAWrite(now sim.Time, a mem.Address, buf []byte) (sim.Duration, error) {
+	if e.failed {
+		return 0, fmt.Errorf("%w: %s", ErrDeviceFailed, e.name)
+	}
+	if e.hostMem == nil {
+		return 0, ErrNoDMATarget
+	}
+	d := DMASetupLatency + e.linkTime(now, len(buf))
+	md, err := e.hostMem.WriteAt(now+d, a, buf)
+	if err != nil {
+		return 0, fmt.Errorf("pcie %s: DMA write: %w", e.name, err)
+	}
+	e.dmaWrites++
+	e.dmaBytesIn += uint64(len(buf))
+	return d + md, nil
+}
+
+// MMIOWrite is a CPU-initiated posted write to a device register
+// (doorbell). extraLatency carries path costs above the local case
+// (zero for a locally attached device; switch hops or forwarding costs
+// for pooled access).
+func (e *Endpoint) MMIOWrite(now sim.Time, off uint32, v uint64, extraLatency sim.Duration) (sim.Duration, error) {
+	if e.failed {
+		return 0, fmt.Errorf("%w: %s", ErrDeviceFailed, e.name)
+	}
+	e.bar.Store(off, v)
+	e.mmioWrites++
+	d := MMIOWriteLatency + extraLatency
+	if fn, ok := e.doorbells[off]; ok {
+		fn(now+d, v)
+	}
+	return d, nil
+}
+
+// MMIORead is a CPU-initiated non-posted register read.
+func (e *Endpoint) MMIORead(now sim.Time, off uint32, extraLatency sim.Duration) (uint64, sim.Duration, error) {
+	if e.failed {
+		return 0, 0, fmt.Errorf("%w: %s", ErrDeviceFailed, e.name)
+	}
+	e.mmioReads++
+	return e.bar.Load(off), MMIOReadLatency + extraLatency, nil
+}

@@ -1,0 +1,280 @@
+package pcie
+
+import (
+	"errors"
+	"testing"
+
+	"cxlpool/internal/mem"
+	"cxlpool/internal/sim"
+)
+
+func hostRAM() *mem.Region {
+	return mem.NewRegion("ddr", 0, 1<<20, mem.Timing{
+		ReadLatency:  110,
+		WriteLatency: 80,
+		Bandwidth:    38.4,
+	}, nil)
+}
+
+func x16() LinkConfig { return LinkConfig{Lanes: 16, Gen: 5} }
+
+func TestLinkBandwidthByGen(t *testing.T) {
+	cases := []struct {
+		cfg  LinkConfig
+		want mem.GBps
+	}{
+		{LinkConfig{Lanes: 16, Gen: 5}, 60},
+		{LinkConfig{Lanes: 8, Gen: 5}, 30},
+		{LinkConfig{Lanes: 16, Gen: 4}, 30},
+		{LinkConfig{Lanes: 16, Gen: 3}, 15},
+		{LinkConfig{Lanes: 8, Gen: 6}, 60},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Bandwidth(); got != c.want {
+			t.Errorf("%+v bandwidth = %v, want %v", c.cfg, got, c.want)
+		}
+	}
+}
+
+func TestDMARoundTrip(t *testing.T) {
+	ram := hostRAM()
+	e := NewEndpoint("nic0", x16())
+	e.AttachHostMemory(ram)
+	payload := []byte("packet payload bytes")
+	d, err := e.DMAWrite(0, 0x100, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < DMASetupLatency {
+		t.Fatalf("DMA write latency %v below setup floor", d)
+	}
+	got := make([]byte, len(payload))
+	d2, err := e.DMARead(d, 0x100, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 <= 0 {
+		t.Fatal("DMA read latency must be positive")
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("DMA read back %q", got)
+	}
+	r, w, in, out := e.Stats()
+	if r != 1 || w != 1 || in != uint64(len(payload)) || out != uint64(len(payload)) {
+		t.Fatalf("stats = %d %d %d %d", r, w, in, out)
+	}
+}
+
+func TestDMAWithoutTarget(t *testing.T) {
+	e := NewEndpoint("nic0", x16())
+	if _, err := e.DMARead(0, 0, make([]byte, 8)); !errors.Is(err, ErrNoDMATarget) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDMAToUnmappedAddress(t *testing.T) {
+	e := NewEndpoint("nic0", x16())
+	e.AttachHostMemory(hostRAM())
+	if _, err := e.DMAWrite(0, 1<<30, make([]byte, 8)); !errors.Is(err, mem.ErrOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeviceFailure(t *testing.T) {
+	e := NewEndpoint("nic0", x16())
+	e.AttachHostMemory(hostRAM())
+	e.Fail()
+	if !e.Failed() {
+		t.Fatal("Failed() false after Fail()")
+	}
+	if _, err := e.DMAWrite(0, 0, make([]byte, 8)); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("dma err = %v", err)
+	}
+	if _, err := e.MMIOWrite(0, 0, 1, 0); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("mmio err = %v", err)
+	}
+	if _, _, err := e.MMIORead(0, 0, 0); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("mmio read err = %v", err)
+	}
+	e.Repair()
+	if _, err := e.DMAWrite(0, 0, make([]byte, 8)); err != nil {
+		t.Fatalf("dma after repair: %v", err)
+	}
+}
+
+func TestDoorbellCallback(t *testing.T) {
+	e := NewEndpoint("nic0", x16())
+	var gotVal uint64
+	var gotAt sim.Time
+	e.OnDoorbell(0x40, func(now sim.Time, v uint64) {
+		gotVal = v
+		gotAt = now
+	})
+	d, err := e.MMIOWrite(1000, 0x40, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotVal != 7 {
+		t.Fatalf("doorbell value = %d", gotVal)
+	}
+	if gotAt != 1000+d {
+		t.Fatalf("doorbell fired at %v, want %v", gotAt, 1000+d)
+	}
+	if e.Registers().Load(0x40) != 7 {
+		t.Fatal("register not stored")
+	}
+}
+
+func TestMMIOReadSlowerThanWrite(t *testing.T) {
+	e := NewEndpoint("nic0", x16())
+	wd, err := e.MMIOWrite(0, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rd, err := e.MMIORead(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd <= wd {
+		t.Fatalf("non-posted read %v not slower than posted write %v", rd, wd)
+	}
+}
+
+func TestDMALinkSerialization(t *testing.T) {
+	// A Gen5 x16 link moves 60 B/ns; two back-to-back 64KB DMAs must
+	// serialize on the link.
+	ram := mem.NewRegion("ddr", 0, 1<<20, mem.Timing{ReadLatency: 110}, nil)
+	e := NewEndpoint("nic0", x16())
+	e.AttachHostMemory(ram)
+	buf := make([]byte, 65536)
+	d1, err := e.DMARead(0, 0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := e.DMARead(0, 0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 <= d1 {
+		t.Fatalf("second DMA %v not delayed behind first %v", d2, d1)
+	}
+}
+
+func TestSwitchAssignAndView(t *testing.T) {
+	sw := NewSwitch("psw0")
+	if err := sw.AttachHost("h0", x16()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AttachHost("h1", x16()); err != nil {
+		t.Fatal(err)
+	}
+	dev := NewEndpoint("nic0", x16())
+	dev.AttachHostMemory(hostRAM())
+	if err := sw.AttachDevice(dev); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Assign("nic0", "h0"); err != nil {
+		t.Fatal(err)
+	}
+	v0, err := sw.View("h0", "nic0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h1 does not own it.
+	if _, err := sw.View("h1", "nic0"); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("err = %v", err)
+	}
+	// Switched MMIO is slower than direct.
+	sd, err := v0.MMIOWrite(0, 0x10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd != MMIOWriteLatency+2*SwitchHopLatency {
+		t.Fatalf("switched MMIO write = %v", sd)
+	}
+	// Reassign to h1: old view stops working.
+	if _, err := sw.Assign("nic0", "h1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v0.MMIOWrite(0, 0x10, 2); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("stale view err = %v", err)
+	}
+	v1, err := sw.View("h1", "nic0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := v1.MMIORead(0, 0x10); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Reassignments() != 2 {
+		t.Fatalf("reassignments = %d", sw.Reassignments())
+	}
+}
+
+func TestSwitchLaneBudget(t *testing.T) {
+	sw := NewSwitch("psw0")
+	// 100 lanes: 4 x16 hosts = 64 lanes, 2 x16 devices = 96, 3rd device
+	// must fail.
+	for i := 0; i < 4; i++ {
+		if err := sw.AttachHost(string(rune('a'+i)), x16()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.AttachDevice(NewEndpoint("d0", x16())); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AttachDevice(NewEndpoint("d1", x16())); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AttachDevice(NewEndpoint("d2", x16())); !errors.Is(err, ErrSwitchLanes) {
+		t.Fatalf("err = %v", err)
+	}
+	if sw.FreeLanes() != 4 {
+		t.Fatalf("free lanes = %d", sw.FreeLanes())
+	}
+}
+
+func TestSwitchUnknownEntities(t *testing.T) {
+	sw := NewSwitch("psw0")
+	if _, err := sw.Assign("ghost", "h0"); !errors.Is(err, ErrUnknownDev) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := sw.AttachDevice(NewEndpoint("d0", x16())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Assign("d0", "ghost"); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := sw.View("h", "ghost"); !errors.Is(err, ErrUnknownDev) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSwitchDuplicateAttach(t *testing.T) {
+	sw := NewSwitch("psw0")
+	if err := sw.AttachHost("h0", x16()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AttachHost("h0", x16()); err == nil {
+		t.Fatal("duplicate host accepted")
+	}
+	d := NewEndpoint("d0", x16())
+	if err := sw.AttachDevice(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AttachDevice(d); err == nil {
+		t.Fatal("duplicate device accepted")
+	}
+}
+
+func BenchmarkDMAWrite1500(b *testing.B) {
+	ram := hostRAM()
+	e := NewEndpoint("nic0", x16())
+	e.AttachHostMemory(ram)
+	buf := make([]byte, 1500)
+	for i := 0; i < b.N; i++ {
+		if _, err := e.DMAWrite(sim.Time(i*1000), 0, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

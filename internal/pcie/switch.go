@@ -1,0 +1,163 @@
+package pcie
+
+import (
+	"errors"
+	"fmt"
+
+	"cxlpool/internal/sim"
+)
+
+// Switch models the hardware PCIe switch that is the paper's baseline
+// (§1): hosts and devices connect to a common switch, and any host can
+// reach any device. It is technically capable but costly (≈$80k per
+// rack including adapters and cabling, per GigaIO's published numbers)
+// and topologically rigid.
+//
+// The switch has a fixed lane budget shared by host uplinks and device
+// downlinks. Cross-host device access pays SwitchHopLatency per crossing
+// on every transaction.
+type Switch struct {
+	name      string
+	lanes     int
+	usedLanes int
+	hosts     map[string]LinkConfig
+	devices   map[string]*Endpoint
+	// owner maps device name -> host currently assigned (PCIe switches
+	// assign a device to exactly one host at a time; reassignment is a
+	// control-plane operation that takes milliseconds).
+	owner map[string]string
+
+	reassignments uint64
+}
+
+// SwitchLanes is the lane capacity of a Switchtec-class PCIe 5.0 switch.
+const SwitchLanes = 100
+
+// ReassignLatency is the control-plane cost of moving a device between
+// hosts on a PCIe switch (hot-unplug + hot-plug flow, milliseconds).
+const ReassignLatency sim.Duration = 50 * sim.Millisecond
+
+// Errors.
+var (
+	ErrSwitchLanes = errors.New("pcie: switch out of lanes")
+	ErrNotOwner    = errors.New("pcie: host does not own device")
+	ErrUnknownDev  = errors.New("pcie: unknown device")
+	ErrUnknownHost = errors.New("pcie: unknown host")
+)
+
+// NewSwitch creates a switch with the standard lane budget.
+func NewSwitch(name string) *Switch {
+	return &Switch{
+		name:    name,
+		lanes:   SwitchLanes,
+		hosts:   make(map[string]LinkConfig),
+		devices: make(map[string]*Endpoint),
+		owner:   make(map[string]string),
+	}
+}
+
+// Name returns the switch name.
+func (s *Switch) Name() string { return s.name }
+
+// FreeLanes returns the remaining lane budget.
+func (s *Switch) FreeLanes() int { return s.lanes - s.usedLanes }
+
+// AttachHost connects a host uplink.
+func (s *Switch) AttachHost(host string, link LinkConfig) error {
+	if _, ok := s.hosts[host]; ok {
+		return fmt.Errorf("pcie: host %q already attached to %s", host, s.name)
+	}
+	if link.Lanes > s.FreeLanes() {
+		return fmt.Errorf("%w: host %q wants %d, have %d", ErrSwitchLanes, host, link.Lanes, s.FreeLanes())
+	}
+	s.usedLanes += link.Lanes
+	s.hosts[host] = link
+	return nil
+}
+
+// AttachDevice connects a device downlink.
+func (s *Switch) AttachDevice(dev *Endpoint) error {
+	if _, ok := s.devices[dev.Name()]; ok {
+		return fmt.Errorf("pcie: device %q already attached to %s", dev.Name(), s.name)
+	}
+	if dev.Link().Lanes > s.FreeLanes() {
+		return fmt.Errorf("%w: device %q wants %d, have %d", ErrSwitchLanes, dev.Name(), dev.Link().Lanes, s.FreeLanes())
+	}
+	s.usedLanes += dev.Link().Lanes
+	s.devices[dev.Name()] = dev
+	return nil
+}
+
+// Assign gives a device to a host (control plane). Returns the
+// simulated duration of the reassignment flow.
+func (s *Switch) Assign(dev, host string) (sim.Duration, error) {
+	if _, ok := s.devices[dev]; !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownDev, dev)
+	}
+	if _, ok := s.hosts[host]; !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownHost, host)
+	}
+	prev, had := s.owner[dev]
+	s.owner[dev] = host
+	if had && prev != host {
+		s.reassignments++
+		return ReassignLatency, nil
+	}
+	if !had {
+		s.reassignments++
+	}
+	return ReassignLatency, nil
+}
+
+// Owner returns the host currently assigned the device.
+func (s *Switch) Owner(dev string) (string, bool) {
+	h, ok := s.owner[dev]
+	return h, ok
+}
+
+// Reassignments counts control-plane moves.
+func (s *Switch) Reassignments() uint64 { return s.reassignments }
+
+// View returns the host's handle on a device through the switch, or an
+// error if the host does not own it.
+func (s *Switch) View(host, dev string) (*SwitchedDevice, error) {
+	e, ok := s.devices[dev]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDev, dev)
+	}
+	if s.owner[dev] != host {
+		return nil, fmt.Errorf("%w: %q is owned by %q, not %q", ErrNotOwner, dev, s.owner[dev], host)
+	}
+	return &SwitchedDevice{sw: s, host: host, dev: e}, nil
+}
+
+// SwitchedDevice is a host's view of a device behind a PCIe switch.
+// Every transaction pays two extra hop crossings (host→switch,
+// switch→device) relative to direct attachment.
+type SwitchedDevice struct {
+	sw   *Switch
+	host string
+	dev  *Endpoint
+}
+
+// Endpoint returns the underlying device.
+func (v *SwitchedDevice) Endpoint() *Endpoint { return v.dev }
+
+// extra is the added latency for one transaction through the switch.
+const switchedExtra = 2 * SwitchHopLatency
+
+// MMIOWrite rings a register through the switch.
+func (v *SwitchedDevice) MMIOWrite(now sim.Time, off uint32, val uint64) (sim.Duration, error) {
+	if v.sw.owner[v.dev.Name()] != v.host {
+		return 0, fmt.Errorf("%w: %q lost ownership of %q", ErrNotOwner, v.host, v.dev.Name())
+	}
+	return v.dev.MMIOWrite(now, off, val, switchedExtra)
+}
+
+// MMIORead reads a register through the switch.
+func (v *SwitchedDevice) MMIORead(now sim.Time, off uint32) (uint64, sim.Duration, error) {
+	if v.sw.owner[v.dev.Name()] != v.host {
+		return 0, 0, fmt.Errorf("%w: %q lost ownership of %q", ErrNotOwner, v.host, v.dev.Name())
+	}
+	return v.dev.MMIORead(now, off, switchedExtra)
+}

@@ -1,0 +1,222 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Every timed experiment in this repository runs on top of this kernel: a
+// nanosecond-resolution virtual clock, a binary-heap event queue, and a
+// seeded random source. Nothing in the simulated world reads the wall
+// clock, so a run is a pure function of its inputs and seed.
+//
+// The kernel is single-threaded by design. Concurrency in the simulated
+// system (multiple hosts, devices, DMA engines) is modeled as interleaved
+// events, which keeps runs reproducible and makes latency accounting
+// exact.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of the
+// run. It is deliberately not time.Time: simulated time has no epoch and
+// must never be compared with the wall clock.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration = Time
+
+// Common durations, mirroring time package conventions.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulation time. It is used as a
+// sentinel for "never".
+const MaxTime Time = math.MaxInt64
+
+// String renders the time with an adaptive unit, e.g. "612ns", "14.2us".
+func (t Time) String() string {
+	switch {
+	case t < 10*Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fus", float64(t)/1e3)
+	case t < 10*Second:
+		return fmt.Sprintf("%.3fms", float64(t)/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", float64(t)/1e9)
+	}
+}
+
+// Seconds returns the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Micros returns the time as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Event is a scheduled callback. The zero Event is invalid.
+type Event struct {
+	at     Time
+	seq    uint64 // tiebreaker: FIFO among events at the same instant
+	fn     func()
+	index  int // heap index; -1 once popped or canceled
+	canned bool
+}
+
+// Canceled reports whether the event was canceled before firing.
+func (e *Event) Canceled() bool { return e.canned }
+
+// When returns the time the event is (or was) scheduled to fire.
+func (e *Event) When() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler. Create one with NewEngine; the
+// zero value is not usable.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *Rand
+	// Processed counts events executed so far; useful for run budgets and
+	// detecting livelock in tests.
+	processed uint64
+	// Limit, when nonzero, aborts Run with ErrEventLimit after this many
+	// events. Guards against accidental infinite event loops in tests.
+	limit uint64
+}
+
+// NewEngine returns an engine whose clock starts at 0 and whose random
+// source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: NewRand(seed)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// SetEventLimit sets an upper bound on the number of events a Run may
+// execute; 0 means no limit.
+func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// Pending returns the number of scheduled, uncanceled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) panics: it always indicates a modeling bug, and silently clamping
+// would corrupt latency measurements.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	ev.canned = true
+	heap.Remove(&e.events, ev.index)
+	ev.index = -1
+}
+
+// ErrEventLimit is returned by Run variants when the configured event
+// limit is exceeded.
+type ErrEventLimit struct{ Limit uint64 }
+
+func (e ErrEventLimit) Error() string {
+	return fmt.Sprintf("sim: event limit %d exceeded", e.Limit)
+}
+
+// Run executes events until the queue is empty. It returns the final
+// simulated time.
+func (e *Engine) Run() (Time, error) {
+	return e.RunUntil(MaxTime)
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued. The clock is advanced to the deadline
+// if the queue empties first only when deadline != MaxTime.
+func (e *Engine) RunUntil(deadline Time) (Time, error) {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.at > deadline {
+			e.now = deadline
+			return e.now, nil
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		e.processed++
+		if e.limit != 0 && e.processed > e.limit {
+			return e.now, ErrEventLimit{Limit: e.limit}
+		}
+		next.fn()
+	}
+	if deadline != MaxTime && deadline > e.now {
+		e.now = deadline
+	}
+	return e.now, nil
+}
+
+// Step executes exactly one event if any is pending and reports whether an
+// event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	next := heap.Pop(&e.events).(*Event)
+	e.now = next.at
+	e.processed++
+	next.fn()
+	return true
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property: under arbitrary interleavings of schedule and cancel, the
+// engine fires exactly the non-canceled events, in timestamp order with
+// FIFO tie-breaking — validated against a reference model.
+func TestEngineHeapStressProperty(t *testing.T) {
+	type op struct {
+		Delay  uint16
+		Cancel bool // cancel a previously scheduled event instead
+	}
+	if err := quick.Check(func(ops []op, seed int64) bool {
+		e := NewEngine(seed)
+		type ref struct {
+			at       Time
+			seq      int
+			canceled bool
+		}
+		var refs []*ref
+		var events []*Event
+		var fired []int
+		for i, o := range ops {
+			if o.Cancel && len(events) > 0 {
+				idx := i % len(events)
+				e.Cancel(events[idx])
+				refs[idx].canceled = true
+				continue
+			}
+			at := Time(o.Delay)
+			r := &ref{at: at, seq: i}
+			refs = append(refs, r)
+			seq := len(refs) - 1
+			events = append(events, e.At(at, func() {
+				fired = append(fired, seq)
+			}))
+		}
+		if _, err := e.Run(); err != nil {
+			return false
+		}
+		// Reference: surviving refs sorted by (at, insertion order).
+		var want []int
+		idxs := make([]int, 0, len(refs))
+		for i, r := range refs {
+			if !r.canceled {
+				idxs = append(idxs, i)
+			}
+		}
+		sort.SliceStable(idxs, func(a, b int) bool {
+			return refs[idxs[a]].at < refs[idxs[b]].at
+		})
+		want = idxs
+		if len(fired) != len(want) {
+			return false
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RunUntil in arbitrary increments fires the same events in
+// the same order as a single Run.
+func TestRunUntilChunkingEquivalence(t *testing.T) {
+	if err := quick.Check(func(delays []uint16, chunks []uint16) bool {
+		build := func() (*Engine, *[]Time) {
+			e := NewEngine(1)
+			var fired []Time
+			for _, d := range delays {
+				at := Time(d)
+				e.At(at, func() { fired = append(fired, at) })
+			}
+			return e, &fired
+		}
+		e1, f1 := build()
+		if _, err := e1.Run(); err != nil {
+			return false
+		}
+		e2, f2 := build()
+		cur := Time(0)
+		for _, c := range chunks {
+			cur += Time(c)
+			if _, err := e2.RunUntil(cur); err != nil {
+				return false
+			}
+		}
+		if _, err := e2.Run(); err != nil {
+			return false
+		}
+		if len(*f1) != len(*f2) {
+			return false
+		}
+		for i := range *f1 {
+			if (*f1)[i] != (*f2)[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

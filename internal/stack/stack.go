@@ -1,0 +1,332 @@
+// Package stack implements a Junction-style kernel-bypass UDP stack over
+// the simulated NIC, with a pluggable I/O buffer pool.
+//
+// The paper's Figure 3 experiment is, mechanically, a one-line change to
+// a network stack: allocate TX/RX *buffers* (not queues) from CXL pool
+// memory instead of local DDR5. This package expresses that as a
+// BufferPool with two views — the CPU-side view and the DMA-side view —
+// so the paper's exact topology is reproducible: "The NIC connects to
+// socket0 and uses one ×8 CXL link. Junction runs on socket1 and uses
+// the other ×8 CXL link."
+package stack
+
+import (
+	"errors"
+	"fmt"
+
+	"cxlpool/internal/mem"
+	"cxlpool/internal/metrics"
+	"cxlpool/internal/nicsim"
+	"cxlpool/internal/sim"
+)
+
+// Timing constants for the software stack.
+const (
+	// StackTraversal is the one-way software path length of the
+	// kernel-bypass stack (syscall-free, but still scheduling, protocol
+	// processing, and queue handoffs).
+	StackTraversal sim.Duration = 2500
+	// CPUPerPacket is the fixed per-packet worker occupancy (descriptor
+	// handling, UDP/IP header processing, app callback). 230 ns ≈ a
+	// 4.3 Mpps single-core ceiling, matching Figure 3(a)'s ~4 MOPS
+	// saturation for 75 B payloads.
+	CPUPerPacket sim.Duration = 230
+	// CopyBandwidth is the CPU's streaming copy bandwidth, identical for
+	// DDR- and CXL-resident buffers: the worker's occupancy is bound by
+	// how fast the core moves bytes, while the *latency* of where the
+	// bytes live is pipelined (prefetched) and therefore shows up in
+	// completion time, not throughput.
+	CopyBandwidth mem.GBps = 32
+)
+
+// BufferPool is I/O buffer memory with separate CPU-side and DMA-side
+// views. For local DDR the views are the same region; for CXL pool
+// placement they are two different ports of the same MHD.
+type BufferPool struct {
+	name  string
+	cpu   mem.Memory
+	dma   mem.Memory
+	alloc *mem.Allocator
+}
+
+// NewBufferPool builds a pool over [base, base+size) with the given
+// views.
+func NewBufferPool(name string, cpuView, dmaView mem.Memory, base mem.Address, size int) *BufferPool {
+	return &BufferPool{
+		name:  name,
+		cpu:   cpuView,
+		dma:   dmaView,
+		alloc: mem.NewAllocator(base, size),
+	}
+}
+
+// Name returns the pool name ("ddr" or "cxl").
+func (p *BufferPool) Name() string { return p.name }
+
+// DMAView returns the device-side memory view for NIC attachment.
+func (p *BufferPool) DMAView() mem.Memory { return p.dma }
+
+// Alloc grabs a buffer.
+func (p *BufferPool) Alloc(n int) (mem.Address, error) { return p.alloc.Alloc(n) }
+
+// Free releases a buffer.
+func (p *BufferPool) Free(a mem.Address) error { return p.alloc.Free(a) }
+
+// ReadCPU reads a buffer from the CPU side (timed).
+func (p *BufferPool) ReadCPU(now sim.Time, a mem.Address, buf []byte) (sim.Duration, error) {
+	return p.cpu.ReadAt(now, a, buf)
+}
+
+// WriteCPU writes a buffer from the CPU side (timed).
+func (p *BufferPool) WriteCPU(now sim.Time, a mem.Address, buf []byte) (sim.Duration, error) {
+	return p.cpu.WriteAt(now, a, buf)
+}
+
+// Server is a single-worker UDP echo server (the paper's
+// microbenchmark server).
+type Server struct {
+	engine *sim.Engine
+	nic    *nicsim.NIC
+	pool   *BufferPool
+
+	bufSize int
+	// workerFree tracks each worker core's next-free time; requests go
+	// to the earliest-free core. The paper's testbed uses a single
+	// Junction core; extra workers are for the scaling ablation.
+	workerFree []sim.Time
+
+	served   uint64
+	rxErrors uint64
+
+	// ServiceTime records per-request worker occupancy for diagnostics.
+	ServiceTime *metrics.Recorder
+}
+
+// NewServer wires an echo server to a NIC and buffer pool, posting
+// ringDepth RX buffers of bufSize bytes, with one worker core.
+func NewServer(engine *sim.Engine, nic *nicsim.NIC, pool *BufferPool, bufSize, ringDepth int) (*Server, error) {
+	return NewServerWorkers(engine, nic, pool, bufSize, ringDepth, 1)
+}
+
+// NewServerWorkers is NewServer with a configurable worker-core count.
+func NewServerWorkers(engine *sim.Engine, nic *nicsim.NIC, pool *BufferPool, bufSize, ringDepth, workers int) (*Server, error) {
+	if bufSize <= 0 || ringDepth <= 0 {
+		return nil, errors.New("stack: bufSize and ringDepth must be positive")
+	}
+	if workers <= 0 {
+		return nil, errors.New("stack: need at least one worker")
+	}
+	s := &Server{
+		engine:      engine,
+		nic:         nic,
+		pool:        pool,
+		bufSize:     bufSize,
+		workerFree:  make([]sim.Time, workers),
+		ServiceTime: metrics.NewRecorder(4096),
+	}
+	nic.AttachHostMemory(pool.DMAView())
+	for i := 0; i < ringDepth; i++ {
+		addr, err := pool.Alloc(bufSize)
+		if err != nil {
+			return nil, fmt.Errorf("stack: posting RX ring: %w", err)
+		}
+		if err := nic.PostRxBuffer(addr, bufSize); err != nil {
+			return nil, err
+		}
+	}
+	nic.OnReceive(s.onReceive)
+	return s, nil
+}
+
+// Served returns the number of echoed requests.
+func (s *Server) Served() uint64 { return s.served }
+
+// onReceive handles an RX completion: schedule the worker.
+func (s *Server) onReceive(now sim.Time, c nicsim.RxCompletion) {
+	// Ingress stack traversal, then worker processing.
+	notify := now + StackTraversal
+	s.engine.At(notify, func() { s.process(notify, c) })
+}
+
+// process runs the echo application on the earliest-free worker core.
+func (s *Server) process(now sim.Time, c nicsim.RxCompletion) {
+	worker := 0
+	for i := range s.workerFree {
+		if s.workerFree[i] < s.workerFree[worker] {
+			worker = i
+		}
+	}
+	start := now
+	if s.workerFree[worker] > start {
+		start = s.workerFree[worker]
+	}
+	// Read the request payload (CPU-side view; the latency difference
+	// between DDR and CXL placement appears here and is pipelined).
+	req := make([]byte, c.Len)
+	rd, err := s.pool.ReadCPU(start, c.Addr, req)
+	if err != nil {
+		s.rxErrors++
+		return
+	}
+	// Prepare the response in a fresh TX buffer.
+	txAddr, err := s.pool.Alloc(c.Len)
+	if err != nil {
+		// Out of buffer memory: drop (counted), repost RX.
+		s.rxErrors++
+		_ = s.nic.PostRxBuffer(c.Addr, s.bufSize)
+		return
+	}
+	wr, err := s.pool.WriteCPU(start+rd, txAddr, req)
+	if err != nil {
+		s.rxErrors++
+		return
+	}
+	// Worker occupancy: fixed CPU cost + streaming copy of the payload
+	// in and out. Identical for DDR and CXL pools — the binding resource
+	// is the core, not the buffer's home (§4.1: "maximum throughput is
+	// also not affected").
+	occupancy := CPUPerPacket + CopyBandwidth.TransferTime(2*c.Len)
+	s.workerFree[worker] = start + occupancy
+	s.ServiceTime.Record(float64(occupancy))
+	// This packet's completion additionally pays the (pipelined) memory
+	// latency of its own buffer accesses.
+	done := start + occupancy + rd + wr
+	pkt := c.Packet
+	s.engine.At(done+StackTraversal, func() {
+		t := done + StackTraversal
+		if _, err := s.nic.Transmit(t, txAddr, len(req), pkt.Src, pkt.Stamp); err != nil {
+			s.rxErrors++
+		}
+		// Transmit DMA-read the TX buffer synchronously; both buffers
+		// can be recycled now.
+		_ = s.pool.Free(txAddr)
+		_ = s.nic.PostRxBuffer(c.Addr, s.bufSize)
+		s.served++
+	})
+}
+
+// Client is an open-loop UDP load generator measuring RTT percentiles,
+// mirroring the paper's client host with DDR-resident buffers.
+type Client struct {
+	engine *sim.Engine
+	nic    *nicsim.NIC
+	pool   *BufferPool
+	rng    *sim.Rand
+
+	dst     string
+	payload int
+
+	sent      uint64
+	responses uint64
+
+	// Window, when nonzero, is the end of the measurement window:
+	// responses arriving later are still drained but not counted toward
+	// windowed throughput. Open-loop benchmarks past saturation would
+	// otherwise credit backlogged deliveries to the window.
+	Window            sim.Time
+	responsesInWindow uint64
+
+	// RTT holds round-trip samples in nanoseconds.
+	RTT *metrics.Recorder
+}
+
+// NewClient builds a load generator with ringDepth posted RX buffers.
+func NewClient(engine *sim.Engine, nic *nicsim.NIC, pool *BufferPool, dst string, payload, ringDepth int, rng *sim.Rand) (*Client, error) {
+	if payload <= 0 || payload > nicsim.MTU {
+		return nil, fmt.Errorf("stack: invalid payload %d", payload)
+	}
+	c := &Client{
+		engine:  engine,
+		nic:     nic,
+		pool:    pool,
+		rng:     rng,
+		dst:     dst,
+		payload: payload,
+		RTT:     metrics.NewRecorder(1 << 16),
+	}
+	nic.AttachHostMemory(pool.DMAView())
+	for i := 0; i < ringDepth; i++ {
+		addr, err := pool.Alloc(payload)
+		if err != nil {
+			return nil, err
+		}
+		if err := nic.PostRxBuffer(addr, payload); err != nil {
+			return nil, err
+		}
+	}
+	nic.OnReceive(c.onReceive)
+	return c, nil
+}
+
+// Sent and Responses report the request/response counts.
+func (c *Client) Sent() uint64 { return c.sent }
+
+// Responses returns the number of responses received.
+func (c *Client) Responses() uint64 { return c.responses }
+
+// ResponsesInWindow returns responses that arrived before Window (all
+// responses when Window is zero).
+func (c *Client) ResponsesInWindow() uint64 {
+	if c.Window == 0 {
+		return c.responses
+	}
+	return c.responsesInWindow
+}
+
+// Start generates Poisson arrivals at ratePPS for the given duration of
+// simulated time, beginning at start.
+func (c *Client) Start(start sim.Time, ratePPS float64, duration sim.Duration) {
+	if ratePPS <= 0 {
+		return
+	}
+	meanGap := sim.Duration(1e9 / ratePPS)
+	end := start + duration
+	var arrival func(t sim.Time)
+	arrival = func(t sim.Time) {
+		c.sendOne(t)
+		next := t + c.rng.Exp(meanGap)
+		if next < end {
+			c.engine.At(next, func() { arrival(next) })
+		}
+	}
+	c.engine.At(start, func() { arrival(start) })
+}
+
+// sendOne issues one request at time t.
+func (c *Client) sendOne(t sim.Time) {
+	addr, err := c.pool.Alloc(c.payload)
+	if err != nil {
+		return // client out of buffers; open-loop drop
+	}
+	buf := make([]byte, c.payload)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	wr, err := c.pool.WriteCPU(t, addr, buf)
+	if err != nil {
+		_ = c.pool.Free(addr)
+		return
+	}
+	txAt := t + wr + StackTraversal
+	c.engine.At(txAt, func() {
+		// Stamp carries the request-initiation time for RTT.
+		if _, err := c.nic.Transmit(txAt, addr, c.payload, c.dst, t); err == nil {
+			c.sent++
+		}
+		_ = c.pool.Free(addr)
+	})
+}
+
+// onReceive records the RTT of a response.
+func (c *Client) onReceive(now sim.Time, comp nicsim.RxCompletion) {
+	done := now + StackTraversal
+	pkt := comp.Packet
+	c.engine.At(done, func() {
+		c.responses++
+		if c.Window == 0 || done <= c.Window {
+			c.responsesInWindow++
+		}
+		c.RTT.Record(float64(done - pkt.Stamp))
+		_ = c.nic.PostRxBuffer(comp.Addr, c.payload)
+	})
+}

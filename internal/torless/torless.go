@@ -1,0 +1,233 @@
+// Package torless analyzes the §5 "datacenter networks without ToRs"
+// proposal: instead of a (single point of failure) top-of-rack switch,
+// provision enough NICs inside each CXL pod, pool them in software, and
+// cable them directly to the aggregation layer.
+//
+// It compares three rack network designs by host-level unreachability
+// and rack-wide outage probability, with both closed-form expressions
+// and a Monte-Carlo simulation over component failures:
+//
+//   - SingleToR: every host has one NIC to one ToR.
+//   - DualToR: every host has two NICs to two ToRs (the expensive
+//     mitigation the paper cites operators deploying today).
+//   - ToRLess: a CXL pod of G hosts shares K pooled NICs cabled
+//     straight to aggregation switches; any host can fail over to any
+//     surviving NIC through the pool, and the pod itself has λ
+//     redundant MHD paths.
+package torless
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cxlpool/internal/sim"
+)
+
+// FailureProbs are per-observation-window failure probabilities of each
+// component class (order-of-magnitude annualized rates from public
+// datacenter studies; the comparison depends on ratios, not absolutes).
+type FailureProbs struct {
+	ToR     float64 // top-of-rack switch
+	NIC     float64
+	AggLink float64 // NIC-to-aggregation uplink (used by ToR-less)
+	MHD     float64 // one CXL pool device
+}
+
+// DefaultFailureProbs returns the defaults.
+func DefaultFailureProbs() FailureProbs {
+	return FailureProbs{ToR: 0.02, NIC: 0.01, AggLink: 0.005, MHD: 0.005}
+}
+
+// Design identifies a rack network design.
+type Design int
+
+// The three designs under comparison.
+const (
+	SingleToR Design = iota
+	DualToR
+	ToRLess
+)
+
+// String names the design.
+func (d Design) String() string {
+	switch d {
+	case SingleToR:
+		return "single-ToR"
+	case DualToR:
+		return "dual-ToR"
+	case ToRLess:
+		return "ToR-less (CXL NIC pool)"
+	default:
+		return "unknown"
+	}
+}
+
+// Config sizes the comparison.
+type Config struct {
+	// Hosts per rack (default 32).
+	Hosts int
+	// PodSize is the CXL pod size for the ToR-less design (default 8).
+	PodSize int
+	// PooledNICs is the NIC count per pod in the ToR-less design
+	// (default PodSize, i.e. the same NIC:host ratio as today).
+	PooledNICs int
+	// Lambda is the pod's redundant MHD path count (default 4, per §5
+	// "many industry proposals offer λ = 4 or even λ = 8").
+	Lambda int
+	// Probs are the component failure probabilities.
+	Probs FailureProbs
+	// Trials for the Monte-Carlo run (default 200000).
+	Trials int
+	// Seed for the Monte-Carlo run.
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.Hosts <= 0 {
+		c.Hosts = 32
+	}
+	if c.PodSize <= 0 {
+		c.PodSize = 8
+	}
+	if c.PooledNICs <= 0 {
+		c.PooledNICs = c.PodSize
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 4
+	}
+	if c.Probs == (FailureProbs{}) {
+		c.Probs = DefaultFailureProbs()
+	}
+	if c.Trials <= 0 {
+		c.Trials = 200000
+	}
+}
+
+// Result is one design's reliability figures.
+type Result struct {
+	Design Design
+	// HostUnreachable is the probability a given host cannot reach the
+	// aggregation layer.
+	HostUnreachable float64
+	// RackOutage is the probability that every host in the rack (or
+	// pod) is unreachable simultaneously.
+	RackOutage float64
+	// Analytic versions of the same quantities (closed form).
+	HostUnreachableAnalytic float64
+	RackOutageAnalytic      float64
+}
+
+// String renders one table row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-26s host-unreachable=%.5f (analytic %.5f)  rack-outage=%.6f (analytic %.6f)",
+		r.Design, r.HostUnreachable, r.HostUnreachableAnalytic, r.RackOutage, r.RackOutageAnalytic)
+}
+
+// Analyze runs the comparison for all three designs.
+func Analyze(cfg Config) ([]Result, error) {
+	cfg.defaults()
+	if cfg.PooledNICs < 1 {
+		return nil, errors.New("torless: need at least one pooled NIC")
+	}
+	p := cfg.Probs
+	rng := sim.NewRand(cfg.Seed)
+
+	results := []Result{
+		{
+			Design: SingleToR,
+			// Host needs its NIC and the ToR.
+			HostUnreachableAnalytic: 1 - (1-p.NIC)*(1-p.ToR),
+			// Rack dies if the ToR dies, or every NIC dies.
+			RackOutageAnalytic: p.ToR + (1-p.ToR)*math.Pow(p.NIC, float64(cfg.Hosts)),
+		},
+		{
+			Design: DualToR,
+			// Host needs its NIC and at least one of two ToRs.
+			HostUnreachableAnalytic: 1 - (1-p.NIC)*(1-p.ToR*p.ToR),
+			RackOutageAnalytic:      p.ToR*p.ToR + (1-p.ToR*p.ToR)*math.Pow(p.NIC, float64(cfg.Hosts)),
+		},
+	}
+	// ToR-less: host needs its λ-redundant pod path and ≥1 surviving
+	// (NIC + agg uplink) pair in its pod.
+	pathDown := math.Pow(p.MHD, float64(cfg.Lambda))
+	nicPathDown := 1 - (1-p.NIC)*(1-p.AggLink)
+	allNICsDown := math.Pow(nicPathDown, float64(cfg.PooledNICs))
+	results = append(results, Result{
+		Design:                  ToRLess,
+		HostUnreachableAnalytic: 1 - (1-pathDown)*(1-allNICsDown),
+		RackOutageAnalytic:      1 - (1-allNICsDown)*math.Pow(1-pathDown, float64(cfg.PodSize)),
+	})
+
+	// Monte-Carlo validation.
+	for i := range results {
+		hu, ro := monteCarlo(cfg, results[i].Design, rng)
+		results[i].HostUnreachable = hu
+		results[i].RackOutage = ro
+	}
+	return results, nil
+}
+
+// monteCarlo samples component failures and evaluates reachability.
+func monteCarlo(cfg Config, d Design, rng *sim.Rand) (hostUnreachable, rackOutage float64) {
+	p := cfg.Probs
+	var hostDown, rackDown int
+	hostsPerTrial := cfg.Hosts
+	if d == ToRLess {
+		hostsPerTrial = cfg.PodSize
+	}
+	for t := 0; t < cfg.Trials; t++ {
+		switch d {
+		case SingleToR, DualToR:
+			tor1 := rng.Float64() < p.ToR
+			tor2 := rng.Float64() < p.ToR
+			torDown := tor1
+			if d == DualToR {
+				torDown = tor1 && tor2
+			}
+			allDown := true
+			for h := 0; h < hostsPerTrial; h++ {
+				nicDown := rng.Float64() < p.NIC
+				down := torDown || nicDown
+				if down {
+					hostDown++
+				} else {
+					allDown = false
+				}
+			}
+			if allDown {
+				rackDown++
+			}
+		case ToRLess:
+			// Pod-wide NIC pool.
+			nicsAlive := 0
+			for k := 0; k < cfg.PooledNICs; k++ {
+				nicDown := rng.Float64() < p.NIC
+				linkDown := rng.Float64() < p.AggLink
+				if !nicDown && !linkDown {
+					nicsAlive++
+				}
+			}
+			allDown := true
+			for h := 0; h < hostsPerTrial; h++ {
+				podPathDown := true
+				for l := 0; l < cfg.Lambda; l++ {
+					if rng.Float64() >= p.MHD {
+						podPathDown = false
+					}
+				}
+				down := podPathDown || nicsAlive == 0
+				if down {
+					hostDown++
+				} else {
+					allDown = false
+				}
+			}
+			if allDown {
+				rackDown++
+			}
+		}
+	}
+	n := float64(cfg.Trials)
+	return float64(hostDown) / (n * float64(hostsPerTrial)), float64(rackDown) / n
+}

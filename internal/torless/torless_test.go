@@ -1,0 +1,106 @@
+package torless
+
+import (
+	"math"
+	"testing"
+)
+
+func analyze(t *testing.T, cfg Config) map[Design]Result {
+	t.Helper()
+	rs, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[Design]Result{}
+	for _, r := range rs {
+		out[r.Design] = r
+	}
+	return out
+}
+
+func TestDesignOrdering(t *testing.T) {
+	rs := analyze(t, Config{Seed: 42})
+	// §5's claim: ToR-less with a pooled NIC group beats dual ToR,
+	// which beats single ToR, on both metrics.
+	if !(rs[ToRLess].HostUnreachableAnalytic < rs[DualToR].HostUnreachableAnalytic) {
+		t.Errorf("ToR-less host unreachability %.5f not below dual-ToR %.5f",
+			rs[ToRLess].HostUnreachableAnalytic, rs[DualToR].HostUnreachableAnalytic)
+	}
+	if !(rs[DualToR].HostUnreachableAnalytic < rs[SingleToR].HostUnreachableAnalytic) {
+		t.Errorf("dual-ToR %.5f not below single-ToR %.5f",
+			rs[DualToR].HostUnreachableAnalytic, rs[SingleToR].HostUnreachableAnalytic)
+	}
+	if !(rs[ToRLess].RackOutageAnalytic < rs[SingleToR].RackOutageAnalytic) {
+		t.Error("ToR-less rack outage not below single ToR")
+	}
+	// Single ToR's rack outage is dominated by the ToR itself.
+	if math.Abs(rs[SingleToR].RackOutageAnalytic-DefaultFailureProbs().ToR) > 0.001 {
+		t.Errorf("single-ToR rack outage %.5f should be ~= p(ToR)", rs[SingleToR].RackOutageAnalytic)
+	}
+}
+
+func TestMonteCarloMatchesAnalytic(t *testing.T) {
+	rs := analyze(t, Config{Trials: 400000, Seed: 1})
+	for _, r := range rs {
+		// Host-level probabilities are large enough for tight agreement.
+		if diff := math.Abs(r.HostUnreachable - r.HostUnreachableAnalytic); diff > 0.003 {
+			t.Errorf("%s: MC host-unreachable %.5f vs analytic %.5f",
+				r.Design, r.HostUnreachable, r.HostUnreachableAnalytic)
+		}
+		// Rack outage for single/dual ToR is ToR-driven and testable;
+		// ToR-less outage is ~1e-9 and MC will see 0, which is fine.
+		if r.Design != ToRLess {
+			if diff := math.Abs(r.RackOutage - r.RackOutageAnalytic); diff > 0.002 {
+				t.Errorf("%s: MC rack-outage %.5f vs analytic %.5f",
+					r.Design, r.RackOutage, r.RackOutageAnalytic)
+			}
+		}
+	}
+}
+
+func TestMoreNICsMoreReliability(t *testing.T) {
+	few := analyze(t, Config{PooledNICs: 2, Seed: 2})[ToRLess]
+	many := analyze(t, Config{PooledNICs: 12, Seed: 2})[ToRLess]
+	if many.HostUnreachableAnalytic >= few.HostUnreachableAnalytic {
+		t.Errorf("12 pooled NICs %.6f not better than 2 %.6f",
+			many.HostUnreachableAnalytic, few.HostUnreachableAnalytic)
+	}
+}
+
+func TestLambdaRedundancyMatters(t *testing.T) {
+	l1 := analyze(t, Config{Lambda: 1, Seed: 3})[ToRLess]
+	l8 := analyze(t, Config{Lambda: 8, Seed: 3})[ToRLess]
+	if l8.HostUnreachableAnalytic >= l1.HostUnreachableAnalytic {
+		t.Error("higher lambda did not improve reachability")
+	}
+	// With lambda=1 the MHD becomes a meaningful failure contributor.
+	if l1.HostUnreachableAnalytic < DefaultFailureProbs().MHD {
+		t.Errorf("lambda=1 unreachability %.5f below p(MHD) %.5f",
+			l1.HostUnreachableAnalytic, DefaultFailureProbs().MHD)
+	}
+}
+
+func TestDeterministicMC(t *testing.T) {
+	a := analyze(t, Config{Seed: 9})
+	b := analyze(t, Config{Seed: 9})
+	for d := range a {
+		if a[d].HostUnreachable != b[d].HostUnreachable {
+			t.Fatal("Monte-Carlo not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestConfigDefaultsAndStrings(t *testing.T) {
+	rs, err := Analyze(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("designs = %d", len(rs))
+	}
+	for _, r := range rs {
+		if r.String() == "" || r.Design.String() == "unknown" {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+}

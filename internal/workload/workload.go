@@ -1,0 +1,174 @@
+// Package workload provides synthetic workload generators shared by the
+// experiments: a heterogeneous VM-type mix calibrated to reproduce the
+// stranding profile of Figure 2, packet-size mixes, and skewed demand
+// streams.
+//
+// The paper's Figure 2 uses proprietary Azure production data; per the
+// substitution rule this package provides a synthetic VM population
+// whose *marginal* resource-demand distribution yields the same
+// stranding percentages when packed (CPU ≈ 8%, memory ≈ 3%, SSD ≈ 54%,
+// NIC ≈ 29% stranded), so every downstream experiment (√N pooling,
+// orchestrator load balancing) runs end to end.
+package workload
+
+import (
+	"fmt"
+
+	"cxlpool/internal/sim"
+)
+
+// Resources is a demand or capacity vector over the four dimensions of
+// Figure 2.
+type Resources struct {
+	Cores   float64
+	MemGB   float64
+	SSDGB   float64
+	NICGbps float64
+}
+
+// Add returns r + o.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{r.Cores + o.Cores, r.MemGB + o.MemGB, r.SSDGB + o.SSDGB, r.NICGbps + o.NICGbps}
+}
+
+// Sub returns r - o.
+func (r Resources) Sub(o Resources) Resources {
+	return Resources{r.Cores - o.Cores, r.MemGB - o.MemGB, r.SSDGB - o.SSDGB, r.NICGbps - o.NICGbps}
+}
+
+// Fits reports whether demand o fits within r.
+func (r Resources) Fits(o Resources) bool {
+	return o.Cores <= r.Cores && o.MemGB <= r.MemGB && o.SSDGB <= r.SSDGB && o.NICGbps <= r.NICGbps
+}
+
+// String renders the vector compactly.
+func (r Resources) String() string {
+	return fmt.Sprintf("%gc/%gGB/%gGBssd/%gGbps", r.Cores, r.MemGB, r.SSDGB, r.NICGbps)
+}
+
+// VMType is one flavor in the synthetic population.
+type VMType struct {
+	Name string
+	// Freq is the selection probability; frequencies across the mix
+	// must sum to 1.
+	Freq float64
+	Req  Resources
+}
+
+// DefaultVMTypes is the calibrated mix: general-purpose and
+// memory-optimized types dominate (as in public clouds), with storage-
+// and network-heavy flavors in the tail. The mix is tuned so CPU and
+// memory are the binding dimensions on almost every host while SSD and
+// NIC strand heavily — Figure 2's profile.
+func DefaultVMTypes() []VMType {
+	return []VMType{
+		{Name: "D8s", Freq: 0.30, Req: Resources{8, 32, 400, 4}},
+		{Name: "E8s", Freq: 0.25, Req: Resources{8, 128, 500, 4}},
+		{Name: "F16s", Freq: 0.15, Req: Resources{16, 64, 500, 10}},
+		{Name: "D4s", Freq: 0.15, Req: Resources{4, 16, 150, 2}},
+		{Name: "L8s", Freq: 0.10, Req: Resources{8, 64, 3000, 16}},
+		{Name: "M16s", Freq: 0.05, Req: Resources{16, 256, 800, 25}},
+	}
+}
+
+// DefaultHost is the host shape: a two-socket cloud server with a
+// 100 Gbps NIC and a local NVMe array (cf. §1: "servers that physically
+// connect a dozen SSDs over PCIe", AWS/Azure shapes).
+func DefaultHost() Resources {
+	return Resources{Cores: 96, MemGB: 768, SSDGB: 15000, NICGbps: 100}
+}
+
+// Sampler draws VMs from a mix.
+type Sampler struct {
+	types []VMType
+	cdf   []float64
+	rng   *sim.Rand
+}
+
+// NewSampler validates the mix and builds a sampler.
+func NewSampler(types []VMType, rng *sim.Rand) (*Sampler, error) {
+	if len(types) == 0 {
+		return nil, fmt.Errorf("workload: empty VM mix")
+	}
+	cdf := make([]float64, len(types))
+	sum := 0.0
+	for i, t := range types {
+		if t.Freq < 0 {
+			return nil, fmt.Errorf("workload: negative frequency for %s", t.Name)
+		}
+		sum += t.Freq
+		cdf[i] = sum
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return nil, fmt.Errorf("workload: frequencies sum to %g, want 1", sum)
+	}
+	return &Sampler{types: types, cdf: cdf, rng: rng}, nil
+}
+
+// Next draws one VM type.
+func (s *Sampler) Next() VMType {
+	u := s.rng.Float64()
+	for i, c := range s.cdf {
+		if u <= c {
+			return s.types[i]
+		}
+	}
+	return s.types[len(s.types)-1]
+}
+
+// MeanDemand returns the expectation of the mix.
+func MeanDemand(types []VMType) Resources {
+	var m Resources
+	for _, t := range types {
+		m.Cores += t.Freq * t.Req.Cores
+		m.MemGB += t.Freq * t.Req.MemGB
+		m.SSDGB += t.Freq * t.Req.SSDGB
+		m.NICGbps += t.Freq * t.Req.NICGbps
+	}
+	return m
+}
+
+// PacketMix describes a packet-size distribution for NIC workloads.
+type PacketMix struct {
+	Sizes []int
+	Freqs []float64
+	cdf   []float64
+	rng   *sim.Rand
+}
+
+// NewPacketMix builds a sampler over (size, frequency) pairs.
+func NewPacketMix(sizes []int, freqs []float64, rng *sim.Rand) (*PacketMix, error) {
+	if len(sizes) == 0 || len(sizes) != len(freqs) {
+		return nil, fmt.Errorf("workload: sizes/freqs mismatch")
+	}
+	cdf := make([]float64, len(freqs))
+	sum := 0.0
+	for i, f := range freqs {
+		sum += f
+		cdf[i] = sum
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return nil, fmt.Errorf("workload: packet frequencies sum to %g", sum)
+	}
+	return &PacketMix{Sizes: sizes, Freqs: freqs, cdf: cdf, rng: rng}, nil
+}
+
+// IMIXLike returns a datacenter-flavored trimodal packet mix.
+func IMIXLike(rng *sim.Rand) *PacketMix {
+	m, err := NewPacketMix([]int{75, 576, 1500}, []float64{0.55, 0.2, 0.25}, rng)
+	if err != nil {
+		panic(err) // static inputs cannot fail
+	}
+	return m
+}
+
+// Next draws one packet size.
+func (m *PacketMix) Next() int {
+	u := m.rng.Float64()
+	for i, c := range m.cdf {
+		if u <= c {
+			return m.Sizes[i]
+		}
+	}
+	return m.Sizes[len(m.Sizes)-1]
+}
