@@ -32,6 +32,26 @@ func BenchmarkFigure2Stranding(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure2XL is the 20k-host scale-up the bucketed packer index
+// enables (E13): ten Figure 2 clusters' worth of hosts per iteration.
+func BenchmarkFigure2XL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := stranding.PackCluster(stranding.Config{Hosts: 20000, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllExperiments regenerates every artifact through the
+// parallel runner — the end-to-end `cxlpool all` cost.
+func BenchmarkAllExperiments(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunAll(io.Discard, int64(i), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSqrtNPooling regenerates the §2.1 pooling table (SSD
 // 54%→19%, NIC 29%→10% at N=8).
 func BenchmarkSqrtNPooling(b *testing.B) {

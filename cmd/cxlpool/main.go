@@ -3,11 +3,16 @@
 // Usage:
 //
 //	cxlpool list                 list available experiments
-//	cxlpool all [-seed N]        run every experiment
+//	cxlpool all [-seed N] [-workers W]  run every experiment
 //	cxlpool <experiment> [flags] run one experiment
 //
 // Experiments: figure2, sqrtn, figure3, figure4, cost, lanes, memlat,
-// failover, ablate, torless.
+// failover, ablate, torless, pooled, storage, figure2xl.
+//
+// `all` fans experiments out across up to -workers goroutines (default
+// and effective ceiling GOMAXPROCS; 1 forces a sequential run). Output
+// is byte-identical for any worker count: each experiment is a pure
+// function of the seed and results are merged in registry order.
 //
 // figure3 accepts -payload {75|1500|9000|all}.
 package main
@@ -37,6 +42,7 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	seed := fs.Int64("seed", 42, "simulation seed")
 	payload := fs.String("payload", "all", "figure3 payload size: 75, 1500, 9000, or all")
+	workers := fs.Int("workers", 0, "parallel experiment workers for 'all' (0 = GOMAXPROCS, 1 = sequential)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -47,13 +53,9 @@ func main() {
 			fmt.Printf("%-10s %s\n", e.Name, e.Paper)
 		}
 	case "all":
-		for _, e := range experiments.All() {
-			fmt.Printf("================ %s — %s ================\n", e.Name, e.Paper)
-			if err := e.Run(os.Stdout, *seed); err != nil {
-				fmt.Fprintf(os.Stderr, "cxlpool: %s: %v\n", e.Name, err)
-				os.Exit(1)
-			}
-			fmt.Println()
+		if err := experiments.RunAll(os.Stdout, *seed, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "cxlpool: %v\n", err)
+			os.Exit(1)
 		}
 	case "figure3":
 		switch *payload {

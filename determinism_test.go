@@ -1,0 +1,66 @@
+package cxlpool
+
+import (
+	"bytes"
+	"testing"
+
+	"cxlpool/internal/experiments"
+)
+
+// TestRunAllParallelDeterminism is the golden-compare test for the
+// experiment runner: for a fixed seed, the bytes `cxlpool all` emits
+// must be identical whether experiments run sequentially (workers=1) or
+// fan out across the worker pool. The sequential run is the golden
+// reference; any divergence means an experiment leaked shared state or
+// the runner's ordered merge broke.
+func TestRunAllParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in -short mode")
+	}
+	const seed = 42
+	var sequential bytes.Buffer
+	if err := experiments.RunAll(&sequential, seed, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 4} {
+		var parallel bytes.Buffer
+		if err := experiments.RunAll(&parallel, seed, workers); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sequential.Bytes(), parallel.Bytes()) {
+			a, b := sequential.Bytes(), parallel.Bytes()
+			i := 0
+			for i < len(a) && i < len(b) && a[i] == b[i] {
+				i++
+			}
+			lo := i - 80
+			if lo < 0 {
+				lo = 0
+			}
+			t.Fatalf("workers=%d output diverges from sequential at byte %d:\nseq: %q\npar: %q",
+				workers, i, a[lo:min(i+80, len(a))], b[lo:min(i+80, len(b))])
+		}
+	}
+}
+
+// TestRunAllCoversRegistry guards the wiring: RunAll must emit one
+// banner per registered experiment, in registry order.
+func TestRunAllCoversRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := experiments.RunAll(&buf, 7, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	pos := 0
+	for _, e := range experiments.All() {
+		banner := []byte("================ " + e.Name + " — ")
+		idx := bytes.Index(out[pos:], banner)
+		if idx < 0 {
+			t.Fatalf("banner for %q missing or out of order", e.Name)
+		}
+		pos += idx + len(banner)
+	}
+}

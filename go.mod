@@ -1,0 +1,3 @@
+module cxlpool
+
+go 1.24

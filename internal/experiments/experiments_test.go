@@ -21,7 +21,8 @@ func runExp(t *testing.T, name string) string {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"figure2", "sqrtn", "figure3", "figure4", "cost",
-		"lanes", "memlat", "failover", "ablate", "torless", "pooled", "storage"}
+		"lanes", "memlat", "failover", "ablate", "torless", "pooled", "storage",
+		"figure2xl"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(all), len(want))

@@ -105,3 +105,33 @@ func TestHarvestAggregatesBandwidth(t *testing.T) {
 		t.Fatal("no harvested traffic")
 	}
 }
+
+// Harvested vNICs must be covered by failover exactly like Allocated
+// ones: the orchestrator's assignment walks iterate vnicOrder, and
+// Harvest registers there too (regression test — an early version
+// appended only in Allocate, leaving harvested vNICs stranded on dead
+// devices).
+func TestHarvestedVNICsFailOver(t *testing.T) {
+	p, o := rig(t, 3, 1, LeastUtilized)
+	h0, _ := p.Host("host0")
+	vs, err := o.Harvest(h0, "hv", 2, core.VNICConfig{BufSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	victim := vs[0]
+	failed := victim.Phys().Name()
+	p.Engine.At(2*sim.Millisecond, func() { victim.Phys().Fail() })
+	if _, err := p.Engine.RunUntil(10 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if victim.Phys() == nil || victim.Phys().Name() == failed || victim.Phys().Failed() {
+		t.Fatalf("harvested vNIC stranded on failed device %s", failed)
+	}
+	failovers, _, _ := o.Stats()
+	if failovers == 0 {
+		t.Fatal("no failover recorded for harvested vNIC")
+	}
+}

@@ -114,6 +114,11 @@ type Orchestrator struct {
 
 	vnics  map[string]*core.VirtualNIC
 	assign map[string]string // vNIC name -> device name
+	// vnicOrder is allocation order. Every behavioral walk over the
+	// assignment table iterates this slice, never the maps: map order
+	// would make device choice and control-plane timing vary run to run,
+	// and the experiment layer guarantees bit-identical output per seed.
+	vnicOrder []string
 
 	// ctl carries automatic-failover commands to user-host agents over
 	// shared-memory channels (§4.2); acks update the assignment map and
@@ -286,13 +291,22 @@ func (o *Orchestrator) Start() error {
 	o.started = true
 	engine := o.pod.Engine
 	// One publisher loop per owning host (the host's pooling agent).
+	// Hosts are walked in device-registration order, not map order: the
+	// publisher kickoff events all share a timestamp, so scheduling
+	// order is FIFO order, and map iteration here would perturb publish
+	// interleaving (and thus measured downtimes) from run to run.
 	byHost := make(map[string][]*device)
+	var hostOrder []string
 	for _, name := range o.order {
 		d := o.devices[name]
-		byHost[d.owner.Name()] = append(byHost[d.owner.Name()], d)
+		hn := d.owner.Name()
+		if _, seen := byHost[hn]; !seen {
+			hostOrder = append(hostOrder, hn)
+		}
+		byHost[hn] = append(byHost[hn], d)
 	}
-	for _, devs := range byHost {
-		devs := devs
+	for _, hn := range hostOrder {
+		devs := byHost[hn]
 		var publish func(t sim.Time)
 		publish = func(t sim.Time) {
 			if o.stopped {
@@ -379,8 +393,8 @@ func (o *Orchestrator) monitorSweep(t sim.Time) sim.Time {
 func (o *Orchestrator) failover(now sim.Time, failedDev *device) sim.Time {
 	failedDev.handled = true
 	cur := now
-	for vname, dname := range o.assign {
-		if dname != failedDev.name {
+	for _, vname := range o.vnicOrder {
+		if o.assign[vname] != failedDev.name {
 			continue
 		}
 		if _, inflight := o.pendingRemap[vname]; inflight {
@@ -478,6 +492,7 @@ func (o *Orchestrator) Allocate(user *core.Host, vnicName string, cfg core.VNICC
 	}
 	o.vnics[vnicName] = v
 	o.assign[vnicName] = d.name
+	o.vnicOrder = append(o.vnicOrder, vnicName)
 	return v, nil
 }
 
@@ -527,6 +542,7 @@ func (o *Orchestrator) Harvest(user *core.Host, namePrefix string, n int, cfg co
 		}
 		o.vnics[vname] = v
 		o.assign[vname] = d.name
+		o.vnicOrder = append(o.vnicOrder, vname)
 		used[dname] = true
 		out = append(out, v)
 	}
@@ -556,8 +572,8 @@ func (o *Orchestrator) rebalance(now sim.Time) sim.Time {
 		return now
 	}
 	// Move one vNIC off the hot device.
-	for vname, dname := range o.assign {
-		if dname != hot.name {
+	for _, vname := range o.vnicOrder {
+		if o.assign[vname] != hot.name {
 			continue
 		}
 		v := o.vnics[vname]
@@ -581,8 +597,8 @@ func (o *Orchestrator) DrainHost(host string) (int, error) {
 	}
 	moved := 0
 	now := o.pod.Engine.Now()
-	for vname, dname := range o.assign {
-		d := o.devices[dname]
+	for _, vname := range o.vnicOrder {
+		d := o.devices[o.assign[vname]]
 		if d.owner != h {
 			continue
 		}

@@ -1,0 +1,174 @@
+// Package runner is the experiment-layer worker pool: it fans
+// independent pieces of work (experiments, seeds, sweep points, panels)
+// out across a bounded set of goroutines and merges their results back
+// in submission order, so parallel runs are byte-identical to
+// sequential ones.
+//
+// The simulation kernel (internal/sim) is single-threaded by design;
+// what makes the repository parallelizable is that every experiment is
+// a pure function of (config, seed) on its own Engine. The runner
+// exploits exactly that: tasks share nothing, outputs are captured
+// per-task, and ordering is restored at the merge point. Determinism is
+// therefore a structural property, not a scheduling accident — the
+// golden test in the root package pins it.
+package runner
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is one unit of work. Run writes the task's output to w; the pool
+// guarantees w is private to the task while it runs.
+type Task struct {
+	Name string
+	Run  func(w io.Writer) error
+}
+
+// Result is one task's captured output.
+type Result struct {
+	Name   string
+	Output []byte
+	Err    error
+}
+
+// Pool runs tasks with bounded parallelism. The zero value is ready to
+// use and sizes itself to GOMAXPROCS.
+type Pool struct {
+	// Workers caps concurrent tasks; <= 0 means GOMAXPROCS. It is a
+	// ceiling, not a guarantee: actual parallelism is further bounded
+	// by the process-wide GOMAXPROCS token bucket shared across nested
+	// pools, since the work is CPU-bound simulation and goroutines
+	// beyond the core count only add scheduling noise.
+	Workers int
+}
+
+// workers resolves the concurrency for n tasks.
+func (p Pool) workers(n int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// cpuTokens is a process-wide bucket of GOMAXPROCS extra-worker slots
+// shared by every Pool. Pools nest (RunAll's experiment pool runs
+// experiments whose sweeps open their own pools); without a shared cap,
+// nesting would multiply goroutine counts to workers². A nested ForEach
+// that finds the bucket empty simply runs on its calling goroutine —
+// already counted by the outer pool — so total CPU-bound concurrency
+// stays at GOMAXPROCS and progress never depends on acquiring a token.
+var cpuTokens = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// ForEach runs fn(i) for every i in [0, n) across the pool's workers
+// and blocks until all calls return. The calling goroutine always
+// participates; up to workers-1 helper goroutines join it, each gated
+// on the shared token bucket. It reports the error of the
+// lowest-indexed failing call (the same error a sequential loop that
+// runs everything would surface first), or nil. fn must be safe to call
+// concurrently for distinct i.
+func (p Pool) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	var idx atomic.Int64
+	work := func() {
+		for {
+			i := int(idx.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			errs[i] = fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for h := p.workers(n) - 1; h > 0; h-- {
+		select {
+		case cpuTokens <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() { <-cpuTokens; wg.Done() }()
+				work()
+			}()
+		default:
+			h = 1 // bucket empty: no more helpers
+		}
+	}
+	work()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stream executes all tasks concurrently and writes each task's output
+// to w in task order: the bytes reaching w are identical to running the
+// tasks one by one against w directly. Output for task i is flushed as
+// soon as tasks 0..i have all completed, so early results appear while
+// later ones still run. On the first task error (in task order), Stream
+// flushes the failing task's partial output, discards not-yet-started
+// tasks, waits for in-flight ones, and returns that error wrapped with
+// the task name — matching what a sequential loop that aborts on error
+// would have written.
+func (p Pool) Stream(w io.Writer, tasks []Task) error {
+	n := len(tasks)
+	if n == 0 {
+		return nil
+	}
+	results := make([]Result, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	var aborted atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = p.ForEach(n, func(i int) error {
+			if !aborted.Load() {
+				var buf bytes.Buffer
+				err := tasks[i].Run(&buf)
+				results[i] = Result{Name: tasks[i].Name, Output: buf.Bytes(), Err: err}
+			}
+			close(done[i])
+			return nil
+		})
+	}()
+	var firstErr error
+	for i := 0; i < n; i++ {
+		<-done[i]
+		if results[i].Err != nil {
+			// Flush what the failing task managed to write — a
+			// sequential loop would have streamed it before aborting,
+			// and it is the context the user debugs from.
+			_, _ = w.Write(results[i].Output)
+			firstErr = fmt.Errorf("%s: %w", results[i].Name, results[i].Err)
+			break
+		}
+		if _, err := w.Write(results[i].Output); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		aborted.Store(true)
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,126 @@
+package runner
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func numbered(n int) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{
+			Name: fmt.Sprintf("t%d", i),
+			Run: func(w io.Writer) error {
+				fmt.Fprintf(w, "task %d line 1\ntask %d line 2\n", i, i)
+				return nil
+			},
+		}
+	}
+	return tasks
+}
+
+// sequential is the reference: run every task in order against one
+// writer.
+func sequential(w io.Writer, tasks []Task) error {
+	for _, t := range tasks {
+		if err := t.Run(w); err != nil {
+			return fmt.Errorf("%s: %w", t.Name, err)
+		}
+	}
+	return nil
+}
+
+func TestStreamMatchesSequential(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		tasks := numbered(23)
+		var seq, par bytes.Buffer
+		if err := sequential(&seq, tasks); err != nil {
+			t.Fatal(err)
+		}
+		if err := (Pool{Workers: workers}).Stream(&par, tasks); err != nil {
+			t.Fatal(err)
+		}
+		if seq.String() != par.String() {
+			t.Fatalf("workers=%d: parallel output differs from sequential", workers)
+		}
+	}
+}
+
+func TestStreamFirstErrorByTaskOrder(t *testing.T) {
+	boom := errors.New("boom")
+	tasks := numbered(10)
+	// Two failures; the lower-indexed one must be reported, and no
+	// output from the failing task onward may be written.
+	tasks[3].Run = func(io.Writer) error { return boom }
+	tasks[7].Run = func(io.Writer) error { return errors.New("later") }
+	var buf bytes.Buffer
+	err := Pool{Workers: 4}.Stream(&buf, tasks)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "t3") {
+		t.Fatalf("err %q does not name the failing task", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "task 2") {
+		t.Error("output before the failure missing")
+	}
+	for i := 3; i < 10; i++ {
+		if strings.Contains(out, fmt.Sprintf("task %d ", i)) {
+			t.Errorf("output from task %d written after failure", i)
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	var inFlight, peak atomic.Int32
+	gate := make(chan struct{})
+	err := Pool{Workers: 3}.ForEach(12, func(i int) error {
+		cur := inFlight.Add(1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		if i == 0 {
+			close(gate)
+		}
+		<-gate
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency %d exceeds 3 workers", p)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	err := Pool{Workers: 8}.ForEach(20, func(i int) error {
+		if i%7 == 6 { // fails at 6, 13
+			return fmt.Errorf("fail-%d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "fail-6" {
+		t.Fatalf("err = %v, want fail-6", err)
+	}
+}
+
+func TestEmptyAndZero(t *testing.T) {
+	if err := (Pool{}).ForEach(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Pool{}).Stream(io.Discard, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"cxlpool/internal/mem"
 	"cxlpool/internal/netsim"
 	"cxlpool/internal/nicsim"
+	"cxlpool/internal/runner"
 	"cxlpool/internal/sim"
 )
 
@@ -183,25 +184,36 @@ type Figure3Point = UDPBenchResult
 // Figure3Sweep reproduces one panel of Figure 3: it sweeps offered load
 // from lightly loaded to past saturation for both buffer modes and
 // returns the two series.
+//
+// Every (load, mode) point is an independent simulation on its own
+// engine and seed, so the sweep fans the points out across the runner's
+// worker pool and slots results back by index — the returned series are
+// identical to a sequential sweep.
 func Figure3Sweep(payload int, loadsMOPS []float64, duration sim.Duration, seed int64) (ddr, cxlSeries []Figure3Point, err error) {
-	for _, l := range loadsMOPS {
-		for _, mode := range []BufferMode{BufferDDR, BufferCXL} {
-			r, err := RunUDPBench(UDPBenchConfig{
-				Payload:     payload,
-				OfferedMOPS: l,
-				Duration:    duration,
-				Mode:        mode,
-				Seed:        seed,
-			})
-			if err != nil {
-				return nil, nil, err
-			}
-			if mode == BufferDDR {
-				ddr = append(ddr, *r)
-			} else {
-				cxlSeries = append(cxlSeries, *r)
-			}
+	modes := []BufferMode{BufferDDR, BufferCXL}
+	ddr = make([]Figure3Point, len(loadsMOPS))
+	cxlSeries = make([]Figure3Point, len(loadsMOPS))
+	err = runner.Pool{}.ForEach(len(loadsMOPS)*len(modes), func(i int) error {
+		load, mode := loadsMOPS[i/len(modes)], modes[i%len(modes)]
+		r, err := RunUDPBench(UDPBenchConfig{
+			Payload:     payload,
+			OfferedMOPS: load,
+			Duration:    duration,
+			Mode:        mode,
+			Seed:        seed,
+		})
+		if err != nil {
+			return err
 		}
+		if mode == BufferDDR {
+			ddr[i/len(modes)] = *r
+		} else {
+			cxlSeries[i/len(modes)] = *r
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return ddr, cxlSeries, nil
 }

@@ -1,0 +1,118 @@
+package stranding
+
+import "cxlpool/internal/workload"
+
+// capIndex is a hierarchical bucketed free-capacity index over the
+// per-host free vectors: a complete binary tree whose leaves are hosts
+// and whose interior nodes ("buckets") store the per-dimension maximum
+// free capacity of the hosts below them.
+//
+// FirstFit visits hosts in exactly the same cyclic order as a linear
+// first-fit scan — that invariant is what keeps the Figure 2 numbers
+// byte-identical for a given seed — but prunes every bucket whose
+// max-free summary proves no host inside can fit the request. The
+// summary is a sound over-approximation (the max of each dimension may
+// come from different hosts), so pruning can never skip a fitting host;
+// it only avoids visiting hopeless ones.
+//
+// Near saturation — the expensive phase of PackCluster, where the
+// failure streak forces full-cluster scans — almost every bucket is
+// pruned at the top of the tree, so a failed placement costs O(log n)
+// instead of O(n). Placements update one leaf-to-root path, also
+// O(log n).
+type capIndex struct {
+	n int
+	// size is the leaf capacity: the smallest power of two >= n. Node i
+	// has children 2i and 2i+1; leaves occupy [size, size+n).
+	size int
+	// max[i] is the per-dimension max free capacity in node i's bucket.
+	max []workload.Resources
+}
+
+// newCapIndex builds the index over n hosts each starting with cap free.
+func newCapIndex(n int, cap workload.Resources) *capIndex {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	ix := &capIndex{n: n, size: size, max: make([]workload.Resources, 2*size)}
+	for i := 0; i < n; i++ {
+		ix.max[size+i] = cap
+	}
+	for i := size - 1; i >= 1; i-- {
+		ix.max[i] = maxRes(ix.max[2*i], ix.max[2*i+1])
+	}
+	return ix
+}
+
+func maxRes(a, b workload.Resources) workload.Resources {
+	if b.Cores > a.Cores {
+		a.Cores = b.Cores
+	}
+	if b.MemGB > a.MemGB {
+		a.MemGB = b.MemGB
+	}
+	if b.SSDGB > a.SSDGB {
+		a.SSDGB = b.SSDGB
+	}
+	if b.NICGbps > a.NICGbps {
+		a.NICGbps = b.NICGbps
+	}
+	return a
+}
+
+// Free returns host h's current free vector.
+func (ix *capIndex) Free(h int) workload.Resources { return ix.max[ix.size+h] }
+
+// Set updates host h's free vector and refreshes the max summaries on
+// its leaf-to-root path.
+func (ix *capIndex) Set(h int, free workload.Resources) {
+	i := ix.size + h
+	ix.max[i] = free
+	for i >>= 1; i >= 1; i >>= 1 {
+		m := maxRes(ix.max[2*i], ix.max[2*i+1])
+		if m == ix.max[i] {
+			break
+		}
+		ix.max[i] = m
+	}
+}
+
+// FirstFit returns the first host index, in cyclic order starting at
+// start, whose free vector fits req, or -1 if no host fits. Identical
+// semantics to the linear scan `for j: h := (start+j)%n; if
+// free[h].Fits(req)` — only faster.
+func (ix *capIndex) FirstFit(start int, req workload.Resources) int {
+	if h := ix.firstFitRange(start, ix.n, req); h >= 0 {
+		return h
+	}
+	return ix.firstFitRange(0, start, req)
+}
+
+// firstFitRange returns the smallest h in [lo, hi) that fits req, or -1.
+// It descends from the root, pruning buckets that cannot fit req and
+// taking left children first so the first fitting leaf found is the
+// smallest index.
+func (ix *capIndex) firstFitRange(lo, hi int, req workload.Resources) int {
+	if lo >= hi {
+		return -1
+	}
+	return ix.search(1, 0, ix.size, lo, hi, req)
+}
+
+func (ix *capIndex) search(node, nodeLo, nodeHi, lo, hi int, req workload.Resources) int {
+	if nodeHi <= lo || hi <= nodeLo {
+		return -1
+	}
+	if !ix.max[node].Fits(req) {
+		return -1
+	}
+	if nodeHi-nodeLo == 1 {
+		return nodeLo
+	}
+	mid := (nodeLo + nodeHi) / 2
+	if h := ix.search(2*node, nodeLo, mid, lo, hi, req); h >= 0 {
+		return h
+	}
+	return ix.search(2*node+1, mid, nodeHi, lo, hi, req)
+}

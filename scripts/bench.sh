@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench.sh — run the curated benchmark set and record ns/op, B/op, and
+# allocs/op to BENCH_<date>.json at the repo root, so the performance
+# trajectory lives in-repo and regressions are diffable.
+#
+# Usage:
+#   scripts/bench.sh              # full run (benchtime 1s)
+#   BENCHTIME=1x scripts/bench.sh # smoke run (one iteration, CI)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${BENCHTIME:-1s}"
+DATE="$(date -u +%Y-%m-%d)"
+OUT="BENCH_${DATE}.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+# The curated set: artifact-level regenerations at the root, kernel
+# stress in internal/sim, packer scaling in internal/stranding.
+go test -run='^$' -bench='Figure2Stranding|Figure2XL|SqrtNPooling|Figure4PingPong|ToRless|AllExperiments' \
+    -benchmem -benchtime="$BENCHTIME" . | tee -a "$RAW"
+go test -run='^$' -bench=. -benchmem -benchtime="$BENCHTIME" ./internal/sim/ | tee -a "$RAW"
+go test -run='^$' -bench='PackCluster2000|PackCluster20k' -benchmem -benchtime="$BENCHTIME" ./internal/stranding/ | tee -a "$RAW"
+
+awk -v date="$DATE" -v benchtime="$BENCHTIME" '
+BEGIN { n = 0 }
+/^pkg: / { pkg = $2 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns = $(i-1)
+        if ($(i) == "B/op")      bytes = $(i-1)
+        if ($(i) == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    rows[n++] = sprintf("    {\"pkg\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                        pkg, name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+}
+END {
+    printf "{\n  \"date\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", date, benchtime
+    for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n-1 ? "," : "")
+    printf "  ]\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"
