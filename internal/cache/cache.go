@@ -23,7 +23,6 @@
 package cache
 
 import (
-	"container/list"
 	"fmt"
 
 	"cxlpool/internal/mem"
@@ -46,11 +45,15 @@ const (
 // DefaultLines is the default cache capacity in lines (2 MiB / 64 B).
 const DefaultLines = 32768
 
+// line is one resident cacheline. Lines form an intrusive doubly-linked
+// LRU list (front = most recent); evicted structs are recycled through
+// the cache's free-list, so the miss/evict churn of a polling receiver
+// costs zero steady-state allocations.
 type line struct {
-	addr  mem.Address
-	data  [mem.CachelineSize]byte
-	dirty bool
-	elem  *list.Element
+	addr       mem.Address
+	data       [mem.CachelineSize]byte
+	dirty      bool
+	prev, next *line
 }
 
 // Cache is one host's private cache in front of a mem.Memory (its
@@ -60,8 +63,16 @@ type Cache struct {
 	host    string
 	backing mem.Memory
 	lines   map[mem.Address]*line
-	lru     *list.List // front = most recent
-	cap     int
+	// Intrusive LRU: head is most recent, tail least recent.
+	head, tail *line
+	// free is the recycled-line stack, linked through next.
+	free *line
+	cap  int
+	// fillBuf is the miss-path staging buffer. A local array would
+	// escape to the heap on every miss because it is passed through the
+	// mem.Memory interface; the cache is single-threaded, so one
+	// persistent buffer serves every fill.
+	fillBuf [mem.CachelineSize]byte
 
 	// Stats.
 	hits, misses    uint64
@@ -82,7 +93,6 @@ func New(host string, backing mem.Memory, capLines int) *Cache {
 		host:    host,
 		backing: backing,
 		lines:   make(map[mem.Address]*line),
-		lru:     list.New(),
 		cap:     capLines,
 	}
 }
@@ -98,16 +108,67 @@ func (c *Cache) Stats() (hits, misses, writebacks uint64) {
 	return c.hits, c.misses, c.writebacks
 }
 
+// unlink removes a line from the LRU list.
+func (c *Cache) unlink(l *line) {
+	if l.prev != nil {
+		l.prev.next = l.next
+	} else {
+		c.head = l.next
+	}
+	if l.next != nil {
+		l.next.prev = l.prev
+	} else {
+		c.tail = l.prev
+	}
+	l.prev, l.next = nil, nil
+}
+
+// pushFront links a line at the LRU front.
+func (c *Cache) pushFront(l *line) {
+	l.prev, l.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = l
+	}
+	c.head = l
+	if c.tail == nil {
+		c.tail = l
+	}
+}
+
 // touch moves a line to the LRU front.
-func (c *Cache) touch(l *line) { c.lru.MoveToFront(l.elem) }
+func (c *Cache) touch(l *line) {
+	if c.head == l {
+		return
+	}
+	c.unlink(l)
+	c.pushFront(l)
+}
+
+// release drops a line from the map and LRU and files its struct on the
+// free-list for reuse.
+func (c *Cache) release(l *line) {
+	c.unlink(l)
+	delete(c.lines, l.addr)
+	l.next = c.free
+	c.free = l
+}
+
+// newLine pops a recycled struct or allocates one.
+func (c *Cache) newLine() *line {
+	if l := c.free; l != nil {
+		c.free = l.next
+		l.next = nil
+		return l
+	}
+	return &line{}
+}
 
 // insert adds a line, evicting the LRU line if at capacity. Evicting a
 // dirty line writes it back (timed).
 func (c *Cache) insert(now sim.Time, addr mem.Address, data []byte, dirty bool) (*line, sim.Duration, error) {
 	var evictCost sim.Duration
 	if len(c.lines) >= c.cap {
-		back := c.lru.Back()
-		victim := back.Value.(*line)
+		victim := c.tail
 		if victim.dirty {
 			d, err := c.backing.WriteAt(now, victim.addr, victim.data[:])
 			if err != nil {
@@ -116,12 +177,12 @@ func (c *Cache) insert(now sim.Time, addr mem.Address, data []byte, dirty bool) 
 			c.writebacks++
 			evictCost += d
 		}
-		c.lru.Remove(back)
-		delete(c.lines, victim.addr)
+		c.release(victim)
 	}
-	l := &line{addr: addr, dirty: dirty}
+	l := c.newLine()
+	l.addr, l.dirty = addr, dirty
 	copy(l.data[:], data)
-	l.elem = c.lru.PushFront(l)
+	c.pushFront(l)
 	c.lines[addr] = l
 	return l, evictCost, nil
 }
@@ -134,12 +195,11 @@ func (c *Cache) fetch(now sim.Time, addr mem.Address) (*line, sim.Duration, erro
 		return l, HitLatency, nil
 	}
 	c.misses++
-	var buf [mem.CachelineSize]byte
-	d, err := c.backing.ReadAt(now, addr, buf[:])
+	d, err := c.backing.ReadAt(now, addr, c.fillBuf[:])
 	if err != nil {
 		return nil, 0, err
 	}
-	l, evictCost, err := c.insert(now+d, addr, buf[:], false)
+	l, evictCost, err := c.insert(now+d, addr, c.fillBuf[:], false)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -276,8 +336,7 @@ func (c *Cache) FlushLine(now sim.Time, a mem.Address) (sim.Duration, error) {
 		d = wd
 		c.writebacks++
 	}
-	c.lru.Remove(l.elem)
-	delete(c.lines, la)
+	c.release(l)
 	c.flushes++
 	return d, nil
 }
@@ -307,8 +366,7 @@ func (c *Cache) FlushRange(now sim.Time, a mem.Address, size int) (sim.Duration,
 func (c *Cache) InvalidateRange(a mem.Address, size int) {
 	_ = forEachLine(a, size, func(la mem.Address, _, _ int) error {
 		if l, ok := c.lines[la]; ok {
-			c.lru.Remove(l.elem)
-			delete(c.lines, la)
+			c.release(l)
 			c.invalidations++
 		}
 		return nil

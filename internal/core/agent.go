@@ -29,11 +29,22 @@ type Agent struct {
 	running bool
 	stopped bool
 	poll    *sim.Event
+	// pollAt/pollFn implement the self-rescheduling poll loop with one
+	// closure for the agent's lifetime: only a single poll is ever
+	// pending, so the fire time lives in a field instead of a fresh
+	// capture per sweep.
+	pollAt sim.Time
+	pollFn func()
 
 	// Stats.
 	polls     uint64
 	forwarded uint64
 	completed uint64
+
+	// pollBuf is the agent's channel-payload scratch, reused across
+	// PollInto calls: descriptors are decoded (copied into fields)
+	// before the next poll overwrites it.
+	pollBuf []byte
 }
 
 // service is one polled channel plus its message handler. The handler
@@ -79,8 +90,11 @@ func (a *Agent) ensureRunning() {
 }
 
 func (a *Agent) schedule(at sim.Time) {
-	e := a.host.pod.Engine
-	a.poll = e.At(at, func() { a.sweep(at) })
+	if a.pollFn == nil {
+		a.pollFn = func() { a.sweep(a.pollAt) }
+	}
+	a.pollAt = at
+	a.poll = a.host.pod.Engine.At(at, a.pollFn)
 }
 
 // stop halts the loop permanently (host hot-remove).
@@ -122,11 +136,20 @@ func (a *Agent) sweep(t sim.Time) {
 // drain processes all pending messages on one service.
 func (a *Agent) drain(cur sim.Time, s *service) sim.Time {
 	for {
-		payload, d, ok, err := s.rx.Poll(cur)
+		payload, d, ok, err := s.rx.PollInto(cur, a.pollBuf[:0])
 		cur += d
-		if err != nil || !ok {
+		if cap(payload) > cap(a.pollBuf) {
+			a.pollBuf = payload[:0]
+		}
+		if !ok {
 			return cur
 		}
+		// ok with a non-nil error means the message was consumed but the
+		// receiver's cursor publish failed: the payload must still be
+		// handled or it would be lost (the ring has advanced past it).
 		cur = s.handle(cur, payload)
+		if err != nil {
+			return cur
+		}
 	}
 }

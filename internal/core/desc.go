@@ -38,18 +38,28 @@ type descriptor struct {
 	name  string // TX: destination; RXCOMP: source
 }
 
-// encode packs the descriptor into a channel payload.
-func (d descriptor) encode() ([]byte, error) {
+// encodeInto packs the descriptor into dst, which must hold descSize
+// bytes. It overwrites the full descriptor image (including the name
+// field's zero padding), so dst may be a reused scratch buffer.
+func (d descriptor) encodeInto(dst []byte) ([]byte, error) {
 	if len(d.name) > descNameLen {
 		return nil, fmt.Errorf("%w: %q", errNameTooLong, d.name)
 	}
-	buf := make([]byte, descSize)
+	buf := dst[:descSize]
+	for i := range buf {
+		buf[i] = 0
+	}
 	buf[0] = d.kind
 	binary.LittleEndian.PutUint16(buf[2:4], d.len)
 	binary.LittleEndian.PutUint64(buf[8:16], uint64(d.addr))
 	binary.LittleEndian.PutUint64(buf[16:24], uint64(d.stamp))
 	copy(buf[24:24+descNameLen], d.name)
 	return buf, nil
+}
+
+// encode is encodeInto with fresh storage.
+func (d descriptor) encode() ([]byte, error) {
+	return d.encodeInto(make([]byte, descSize))
 }
 
 // decode unpacks a channel payload.

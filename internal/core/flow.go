@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"cxlpool/internal/bufpool"
 	"cxlpool/internal/sim"
 )
 
@@ -35,6 +36,11 @@ type FlowSender struct {
 	vnic *VirtualNIC
 	seq  uint64
 
+	// segBuf is the segment staging scratch: header + data are
+	// assembled here and consumed synchronously by vnic.Send (which
+	// NT-stores the bytes into the shared TX buffer).
+	segBuf []byte
+
 	migrations uint64
 }
 
@@ -55,7 +61,10 @@ func (f *FlowSender) Migrations() uint64 { return f.migrations }
 
 // Send transmits one segment of the stream.
 func (f *FlowSender) Send(now sim.Time, data []byte) (sim.Duration, error) {
-	buf := make([]byte, flowHeaderSize+len(data))
+	if cap(f.segBuf) < flowHeaderSize+len(data) {
+		f.segBuf = make([]byte, flowHeaderSize+len(data))
+	}
+	buf := f.segBuf[:flowHeaderSize+len(data)]
 	binary.LittleEndian.PutUint64(buf[0:8], f.id)
 	binary.LittleEndian.PutUint64(buf[8:16], f.seq)
 	binary.LittleEndian.PutUint32(buf[16:20], uint32(len(data)))
@@ -82,11 +91,18 @@ func (f *FlowSender) Migrate(to *VirtualNIC) error {
 }
 
 // FlowReceiver reassembles one flow's segments into in-order delivery.
+//
+// Delivered segment bytes are owned by the receiver only for the
+// duration of the deliver callback: in-order segments alias the
+// caller's payload and out-of-order segments live in pooled buffers
+// recycled after delivery. Callbacks that retain data must copy it.
 type FlowReceiver struct {
 	id       uint64
 	next     uint64
 	buffered map[uint64][]byte
 	maxHold  int
+	// segPool recycles the copies made for out-of-order segments.
+	segPool bufpool.Pool
 
 	deliver func(now sim.Time, data []byte)
 
@@ -141,12 +157,14 @@ func (r *FlowReceiver) Ingest(now sim.Time, payload []byte) error {
 	if flowHeaderSize+n > len(payload) {
 		return fmt.Errorf("core: flow segment length %d exceeds payload", n)
 	}
-	data := make([]byte, n)
-	copy(data, payload[flowHeaderSize:flowHeaderSize+n])
+	data := payload[flowHeaderSize : flowHeaderSize+n]
 	switch {
 	case seq == r.next:
+		// In-order fast path: deliver straight from the caller's
+		// payload. The deliver callback owns the bytes only for the
+		// duration of the call (payload is typically vNIC RX scratch).
 		r.deliverOne(now, data)
-		// Drain any buffered successors.
+		// Drain any buffered successors, recycling their held copies.
 		for {
 			d, ok := r.buffered[r.next]
 			if !ok {
@@ -154,6 +172,7 @@ func (r *FlowReceiver) Ingest(now sim.Time, payload []byte) error {
 			}
 			delete(r.buffered, r.next)
 			r.deliverOne(now, d)
+			r.segPool.Put(d)
 		}
 	case seq < r.next:
 		r.duplicates++
@@ -166,7 +185,11 @@ func (r *FlowReceiver) Ingest(now sim.Time, payload []byte) error {
 			return fmt.Errorf("%w: holding %d, next=%d got=%d",
 				ErrFlowReorderOverflow, len(r.buffered), r.next, seq)
 		}
-		r.buffered[seq] = data
+		// Out-of-order segments outlive this call, so they are copied
+		// into pooled storage, recycled when delivered in order.
+		held := r.segPool.Get(n)
+		copy(held, data)
+		r.buffered[seq] = held
 		r.reordered++
 	}
 	return nil

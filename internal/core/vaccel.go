@@ -39,6 +39,11 @@ type VirtualAccel struct {
 	nextID  uint64
 	pending map[uint64]*accelPending
 
+	// descBuf stages descriptor encodes; outBuf stages job output handed
+	// to onDone callbacks, valid only during the callback.
+	descBuf [40]byte
+	outBuf  []byte
+
 	submitted uint64
 	completed uint64
 	jobErrors uint64
@@ -71,8 +76,13 @@ type accelDesc struct {
 	stamp  sim.Time
 }
 
-func (d accelDesc) encode() []byte {
-	buf := make([]byte, 40)
+// encodeInto packs the descriptor into dst (>= 40 bytes), overwriting
+// the full image so dst may be reused scratch.
+func (d accelDesc) encodeInto(dst []byte) []byte {
+	buf := dst[:40]
+	for i := range buf {
+		buf[i] = 0
+	}
 	buf[0] = d.kind
 	binary.LittleEndian.PutUint32(buf[4:8], d.inLen)
 	binary.LittleEndian.PutUint32(buf[8:12], d.outLen)
@@ -81,6 +91,8 @@ func (d accelDesc) encode() []byte {
 	binary.LittleEndian.PutUint64(buf[32:40], uint64(d.stamp))
 	return buf
 }
+
+func (d accelDesc) encode() []byte { return d.encodeInto(make([]byte, 40)) }
 
 func decodeAccelDesc(buf []byte) (accelDesc, error) {
 	if len(buf) < 40 {
@@ -235,7 +247,8 @@ func (v *VirtualAccel) Remap(owner *Host, phys *accelsim.Accel) (sim.Duration, e
 }
 
 // Submit offloads input to the pooled accelerator. onDone receives the
-// output bytes.
+// output bytes in reusable scratch, valid only until the callback
+// returns (copy to retain).
 func (v *VirtualAccel) Submit(now sim.Time, input []byte, onDone func(now sim.Time, output []byte, err error)) (sim.Duration, error) {
 	if v.phys == nil {
 		return 0, ErrNotBound
@@ -259,7 +272,7 @@ func (v *VirtualAccel) Submit(now sim.Time, input []byte, onDone func(now sim.Ti
 	outLen := v.phys.OutputLen(len(input))
 	v.pending[id] = &accelPending{buf: buf, start: now, outLen: outLen, onDone: onDone}
 	cmd := accelDesc{kind: accelKindCmd, inLen: uint32(len(input)), outLen: uint32(outLen), addr: buf, id: id, stamp: now}
-	sd, err := v.cmdSend.Send(now+d, cmd.encode())
+	sd, err := v.cmdSend.Send(now+d, cmd.encodeInto(v.descBuf[:]))
 	d += sd
 	if err != nil {
 		delete(v.pending, id)
@@ -314,7 +327,10 @@ func (v *VirtualAccel) handleUser(cur sim.Time, payload []byte) sim.Time {
 		jobErr = fmt.Errorf("core: remote accelerator job failed")
 		v.jobErrors++
 	} else {
-		out = make([]byte, d.outLen)
+		if cap(v.outBuf) < int(d.outLen) {
+			v.outBuf = make([]byte, d.outLen)
+		}
+		out = v.outBuf[:d.outLen]
 		rd, err := v.user.cache.ReadStream(cur, p.buf+mem.Address(v.bufSize), out)
 		cur += rd
 		if err != nil {

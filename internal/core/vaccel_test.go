@@ -37,7 +37,8 @@ func TestVirtualAccelOffloadWithIntegrity(t *testing.T) {
 		if err != nil {
 			t.Errorf("offload failed: %v", err)
 		}
-		got = out
+		// out is the vAccel's reusable scratch: copy to retain.
+		got = append([]byte(nil), out...)
 		doneAt = now
 	}); err != nil {
 		t.Fatal(err)

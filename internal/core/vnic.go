@@ -78,6 +78,15 @@ type VirtualNIC struct {
 	txFree  []mem.Address
 	rxAddrs []mem.Address // owned RX buffers (for cleanup/remap)
 
+	// descBuf is the descriptor staging scratch: every encode is
+	// consumed synchronously by a channel Send (which copies the bytes
+	// into its slot), so one buffer serves all descriptor traffic.
+	descBuf [descSize]byte
+	// rxBuf is the RX payload staging scratch handed to the OnReceive
+	// callback; the bytes are valid only for the duration of the
+	// callback (see README "Buffer ownership & reuse").
+	rxBuf []byte
+
 	onRecv func(now sim.Time, src string, payload []byte)
 
 	// Stats.
@@ -128,7 +137,10 @@ func (v *VirtualNIC) Stats() (sent, delivered, txErrors, remaps uint64) {
 	return v.sent, v.delivered, v.txErrors, v.remaps
 }
 
-// OnReceive installs the application's delivery callback.
+// OnReceive installs the application's delivery callback. The payload
+// slice is the vNIC's reusable RX scratch: it is valid only until the
+// callback returns, after which the next delivery overwrites it.
+// Callbacks that need the bytes later must copy them.
 func (v *VirtualNIC) OnReceive(fn func(now sim.Time, src string, payload []byte)) {
 	v.onRecv = fn
 }
@@ -265,7 +277,7 @@ func (v *VirtualNIC) Send(now sim.Time, dst string, payload []byte) (sim.Duratio
 		v.SendLatency.Record(float64(d))
 		return d, nil
 	}
-	enc, err := descriptor{kind: descTx, len: uint16(len(payload)), addr: addr, stamp: now, name: dst}.encode()
+	enc, err := descriptor{kind: descTx, len: uint16(len(payload)), addr: addr, stamp: now, name: dst}.encodeInto(v.descBuf[:])
 	if err != nil {
 		return 0, err
 	}
@@ -302,7 +314,7 @@ func (v *VirtualNIC) handleOwner(cur sim.Time, payload []byte) sim.Time {
 		}
 		agent.forwarded++
 		// Tell the user the TX buffer can be reused.
-		enc, _ := descriptor{kind: descTxComp, addr: desc.addr}.encode()
+		enc, _ := descriptor{kind: descTxComp, addr: desc.addr}.encodeInto(v.descBuf[:])
 		sd, err := v.compSend.Send(cur, enc)
 		cur += sd
 		if err != nil {
@@ -350,9 +362,9 @@ func (v *VirtualNIC) ownerRxCompletion(now sim.Time, c nicsim.RxCompletion) {
 		kind:  descRxComp,
 		len:   uint16(c.Len),
 		addr:  c.Addr,
-		stamp: c.Packet.Stamp,
-		name:  c.Packet.Src,
-	}.encode()
+		stamp: c.Stamp,
+		name:  c.Src,
+	}.encodeInto(v.descBuf[:])
 	if err != nil {
 		v.compDrops++
 		return
@@ -365,7 +377,10 @@ func (v *VirtualNIC) ownerRxCompletion(now sim.Time, c nicsim.RxCompletion) {
 // deliverLocal is the fast RX path when the device is locally attached:
 // read the payload, invoke the app, repost the buffer — no channels.
 func (v *VirtualNIC) deliverLocal(now sim.Time, c nicsim.RxCompletion) sim.Time {
-	payload := make([]byte, c.Len)
+	if cap(v.rxBuf) < c.Len {
+		v.rxBuf = make([]byte, c.Len)
+	}
+	payload := v.rxBuf[:c.Len]
 	d, err := v.user.cache.ReadStream(now, c.Addr, payload)
 	cur := now + d
 	if err != nil {
@@ -373,11 +388,11 @@ func (v *VirtualNIC) deliverLocal(now sim.Time, c nicsim.RxCompletion) sim.Time 
 		return cur
 	}
 	v.delivered++
-	if c.Packet.Stamp > 0 {
-		v.E2ELatency.Record(float64(cur - c.Packet.Stamp))
+	if c.Stamp > 0 {
+		v.E2ELatency.Record(float64(cur - c.Stamp))
 	}
 	if v.onRecv != nil {
-		v.onRecv(cur, c.Packet.Src, payload)
+		v.onRecv(cur, c.Src, payload)
 	}
 	_ = v.phys.PostRxBuffer(c.Addr, v.cfg.BufSize)
 	return cur
@@ -388,7 +403,10 @@ func (v *VirtualNIC) deliverLocal(now sim.Time, c nicsim.RxCompletion) sim.Time 
 // and send the buffer back for reposting. Returns the advanced time
 // cursor.
 func (v *VirtualNIC) deliverRx(cur sim.Time, desc descriptor) sim.Time {
-	payload := make([]byte, desc.len)
+	if cap(v.rxBuf) < int(desc.len) {
+		v.rxBuf = make([]byte, desc.len)
+	}
+	payload := v.rxBuf[:desc.len]
 	d, err := v.user.cache.ReadStream(cur, desc.addr, payload)
 	cur += d
 	if err != nil {
@@ -403,7 +421,7 @@ func (v *VirtualNIC) deliverRx(cur sim.Time, desc descriptor) sim.Time {
 		v.onRecv(cur, desc.name, payload)
 	}
 	// Recycle the RX buffer through the owner.
-	enc, _ := descriptor{kind: descRepost, addr: desc.addr}.encode()
+	enc, _ := descriptor{kind: descRepost, addr: desc.addr}.encodeInto(v.descBuf[:])
 	if v.txSend != nil {
 		sd, err := v.txSend.Send(cur, enc)
 		cur += sd

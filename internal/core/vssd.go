@@ -40,6 +40,12 @@ type VirtualSSD struct {
 	nextID  uint64
 	pending map[uint64]*ssdPending
 
+	// descBuf stages descriptor encodes (consumed synchronously by
+	// channel Sends); dataBuf stages read payloads handed to onDone
+	// callbacks, valid only during the callback.
+	descBuf [40]byte
+	dataBuf []byte
+
 	// Stats.
 	submitted uint64
 	completed uint64
@@ -75,8 +81,13 @@ type ssdDesc struct {
 	stamp sim.Time
 }
 
-func (d ssdDesc) encode() []byte {
-	buf := make([]byte, 40)
+// encodeInto packs the descriptor into dst (>= 40 bytes), overwriting
+// the full image so dst may be reused scratch.
+func (d ssdDesc) encodeInto(dst []byte) []byte {
+	buf := dst[:40]
+	for i := range buf {
+		buf[i] = 0
+	}
 	buf[0] = d.kind
 	buf[1] = uint8(d.op)
 	binary.LittleEndian.PutUint32(buf[4:8], d.n)
@@ -86,6 +97,8 @@ func (d ssdDesc) encode() []byte {
 	binary.LittleEndian.PutUint64(buf[32:40], uint64(d.stamp))
 	return buf
 }
+
+func (d ssdDesc) encode() []byte { return d.encodeInto(make([]byte, 40)) }
 
 func decodeSSDDesc(buf []byte) (ssdDesc, error) {
 	if len(buf) < 40 {
@@ -235,7 +248,8 @@ func (v *VirtualSSD) Remap(owner *Host, phys *ssdsim.SSD) (sim.Duration, error) 
 }
 
 // Read submits a read of n bytes at lba. onDone is invoked on the
-// user's agent with the data (in a fresh slice) or an error.
+// user's agent with the data or an error; the data slice is reusable
+// scratch, valid only until the callback returns (copy to retain).
 func (v *VirtualSSD) Read(now sim.Time, lba int64, n int, onDone func(now sim.Time, data []byte, err error)) (sim.Duration, error) {
 	return v.submit(now, ssdsim.OpRead, lba, nil, n, onDone)
 }
@@ -272,7 +286,7 @@ func (v *VirtualSSD) submit(now sim.Time, op ssdsim.Op, lba int64, data []byte, 
 	id := v.nextID
 	v.pending[id] = &ssdPending{op: op, buf: buf, start: now, onDone: onDone}
 	cmd := ssdDesc{kind: ssdKindCmd, op: op, n: uint32(n), lba: lba, addr: buf, id: id, stamp: now}
-	sd, err := v.cmdSend.Send(now+spent, cmd.encode())
+	sd, err := v.cmdSend.Send(now+spent, cmd.encodeInto(v.descBuf[:]))
 	spent += sd
 	if err != nil {
 		delete(v.pending, id)
@@ -331,7 +345,10 @@ func (v *VirtualSSD) handleUser(cur sim.Time, payload []byte) sim.Time {
 		ioErr = fmt.Errorf("core: remote SSD I/O failed")
 		v.ioErrors++
 	} else if d.op == ssdsim.OpRead {
-		data = make([]byte, d.n)
+		if cap(v.dataBuf) < int(d.n) {
+			v.dataBuf = make([]byte, d.n)
+		}
+		data = v.dataBuf[:d.n]
 		rd, err := v.user.cache.ReadStream(cur, d.addr, data)
 		cur += rd
 		if err != nil {

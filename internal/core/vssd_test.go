@@ -69,7 +69,8 @@ func TestVirtualSSDWriteReadRemote(t *testing.T) {
 		if err != nil {
 			t.Errorf("read failed: %v", err)
 		}
-		got = data
+		// data is the vSSD's reusable scratch: copy to retain.
+		got = append([]byte(nil), data...)
 		doneAt = now
 	}); err != nil {
 		t.Fatal(err)

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"cxlpool/internal/bwplan"
 	"cxlpool/internal/cost"
@@ -209,17 +210,9 @@ func Figure4(w io.Writer, seed int64) error {
 	fmt.Fprintln(w, "CDF:")
 	for _, pt := range res.OneWay.CDF(20) {
 		bar := int(pt.F * 50)
-		fmt.Fprintf(w, "%6.0fns %5.1f%% |%s\n", pt.Value, pt.F*100, repeat('#', bar))
+		fmt.Fprintf(w, "%6.0fns %5.1f%% |%s\n", pt.Value, pt.F*100, strings.Repeat("#", bar))
 	}
 	return nil
-}
-
-func repeat(c byte, n int) string {
-	b := make([]byte, n)
-	for i := range b {
-		b[i] = c
-	}
-	return string(b)
 }
 
 // Cost regenerates the rack economics comparison.

@@ -19,8 +19,10 @@ import (
 // quotes (2-3x for direct CXL; 500-600 ns switched).
 func MemLatency(w io.Writer, seed int64) error {
 	rng := sim.NewRand(seed)
+	// One probe buffer for every ladder rung; hoisted out of the loop so
+	// 2000 reads per memory class reuse the same 64 B staging slice.
+	buf := make([]byte, 64)
 	probe := func(m mem.Memory) (float64, error) {
-		buf := make([]byte, 64)
 		var sum sim.Duration
 		const n = 2000
 		for i := 0; i < n; i++ {

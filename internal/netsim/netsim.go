@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 
+	"cxlpool/internal/bufpool"
 	"cxlpool/internal/mem"
 	"cxlpool/internal/sim"
 )
@@ -36,6 +37,13 @@ const (
 
 // Packet is one frame in flight. Payload is carried by value so data
 // integrity is testable end to end.
+//
+// Packets obtained from Fabric.NewPacket are recycled after delivery:
+// the struct and its Payload are valid until the receiver's FromWire
+// returns, after which the fabric may reuse both for later traffic.
+// Receivers that need bytes past delivery must copy them (the NIC model
+// does: it DMA-writes the payload into a posted host buffer before
+// completing). Externally constructed packets are never recycled.
 type Packet struct {
 	Src, Dst string
 	Payload  []byte
@@ -44,6 +52,8 @@ type Packet struct {
 	Stamp sim.Time
 	// Seq is a sender-assigned sequence number.
 	Seq uint64
+	// pooled marks fabric-owned packets for recycling after delivery.
+	pooled bool
 }
 
 // Receiver is anything that can accept frames from the fabric (a NIC).
@@ -84,6 +94,57 @@ type Fabric struct {
 	// MaxQueueDelay bounds egress queueing; frames that would wait
 	// longer are tail-dropped (switch buffer limit). Zero disables.
 	MaxQueueDelay sim.Duration
+
+	// payloads and pktFree recycle fabric-owned frames (see NewPacket):
+	// steady-state traffic reuses one packet struct and one payload
+	// buffer per concurrent in-flight frame instead of allocating per
+	// send.
+	payloads bufpool.Pool
+	pktFree  []*Packet
+	// delFree recycles delivery events. Each carries a closure built
+	// once at struct creation, so scheduling a delivery does not
+	// allocate a fresh closure per frame.
+	delFree []*delivery
+}
+
+// delivery is one scheduled frame arrival, pooled with its callback.
+type delivery struct {
+	f       *Fabric
+	dst     *port
+	p       *Packet
+	arrival sim.Time
+	fn      func()
+}
+
+// newDelivery pops a recycled delivery or builds one (with its
+// permanent callback closure).
+func (f *Fabric) newDelivery(dst *port, p *Packet, arrival sim.Time) *delivery {
+	var d *delivery
+	if k := len(f.delFree); k > 0 {
+		d = f.delFree[k-1]
+		f.delFree[k-1] = nil
+		f.delFree = f.delFree[:k-1]
+	} else {
+		d = &delivery{f: f}
+		d.fn = d.run
+	}
+	d.dst, d.p, d.arrival = dst, p, arrival
+	return d
+}
+
+// run fires the delivery: the struct is recycled before the receiver
+// callback so reentrant sends can reuse it.
+func (d *delivery) run() {
+	f, dst, p, arrival := d.f, d.dst, d.p, d.arrival
+	d.dst, d.p = nil, nil
+	f.delFree = append(f.delFree, d)
+	if f.down {
+		dst.drops++
+		f.Release(p)
+		return
+	}
+	dst.rx.FromWire(arrival, p)
+	f.Release(p)
 }
 
 // NewFabric creates a fabric driven by the given engine.
@@ -128,11 +189,43 @@ func (f *Fabric) Drops() uint64 {
 	return n
 }
 
+// NewPacket returns a fabric-owned frame with a Payload of n bytes,
+// recycled from earlier delivered traffic when possible. Ownership
+// transfers to the fabric on a successful Inject; the fabric reclaims
+// the packet once the receiver's FromWire returns (or on a drop). A
+// sender whose Inject fails must hand the packet back with Release.
+func (f *Fabric) NewPacket(src, dst string, n int, stamp sim.Time, seq uint64) *Packet {
+	var p *Packet
+	if k := len(f.pktFree); k > 0 {
+		p = f.pktFree[k-1]
+		f.pktFree[k-1] = nil
+		f.pktFree = f.pktFree[:k-1]
+	} else {
+		p = &Packet{}
+	}
+	*p = Packet{Src: src, Dst: dst, Payload: f.payloads.Get(n), Stamp: stamp, Seq: seq, pooled: true}
+	return p
+}
+
+// Release returns a fabric-owned packet to the free lists. Packets not
+// created by NewPacket are ignored.
+func (f *Fabric) Release(p *Packet) {
+	if p == nil || !p.pooled {
+		return
+	}
+	p.pooled = false
+	f.payloads.Put(p.Payload)
+	p.Payload = nil
+	f.pktFree = append(f.pktFree, p)
+}
+
 // Inject puts a frame on the wire at time now (the sender NIC has
 // already serialized it onto its own uplink). The fabric forwards it and
 // schedules delivery at the destination. Returns an error for unknown
 // destinations; drops (fabric down, queue overflow) are silent data-path
-// behavior, counted in stats.
+// behavior, counted in stats. On success the fabric owns fabric-created
+// packets and recycles them after delivery or drop; on error the caller
+// keeps ownership.
 func (f *Fabric) Inject(now sim.Time, p *Packet) error {
 	dst, ok := f.ports[p.Dst]
 	if !ok {
@@ -140,6 +233,7 @@ func (f *Fabric) Inject(now sim.Time, p *Packet) error {
 	}
 	if f.down {
 		dst.drops++
+		f.Release(p)
 		return nil
 	}
 	// Uplink propagation + cut-through forwarding.
@@ -150,6 +244,7 @@ func (f *Fabric) Inject(now sim.Time, p *Packet) error {
 	if dst.egressBusy > start {
 		if f.MaxQueueDelay > 0 && dst.egressBusy-start > f.MaxQueueDelay {
 			dst.drops++
+			f.Release(p)
 			return nil
 		}
 		start = dst.egressBusy
@@ -158,13 +253,7 @@ func (f *Fabric) Inject(now sim.Time, p *Packet) error {
 	dst.egressBusy = start + xfer
 	arrival := start + xfer + f.propag
 	dst.forwarded++
-	f.engine.At(arrival, func() {
-		if f.down {
-			dst.drops++
-			return
-		}
-		dst.rx.FromWire(arrival, p)
-	})
+	f.engine.At(arrival, f.newDelivery(dst, p, arrival).fn)
 	return nil
 }
 

@@ -40,11 +40,21 @@ var (
 // MTU is the jumbo-frame MTU, admitting the paper's 9000 B payloads.
 const MTU = 9216
 
-// RxCompletion describes a received packet after DMA into a host buffer.
+// RxCompletion describes a received packet after DMA into a host
+// buffer. It carries the frame metadata by value (not a *netsim.Packet)
+// so the fabric can recycle the wire frame the moment delivery
+// completes: completions may be captured in closures and consumed long
+// after the underlying packet buffer has been reused. The payload bytes
+// live in the posted host buffer at Addr.
 type RxCompletion struct {
-	Addr   mem.Address
-	Len    int
-	Packet *netsim.Packet
+	Addr mem.Address
+	Len  int
+	// Src is the sending NIC's fabric address.
+	Src string
+	// Stamp is the sender's send-initiation time (RTT measurement).
+	Stamp sim.Time
+	// Seq is the sender-assigned sequence number.
+	Seq uint64
 }
 
 // Config sizes a NIC.
@@ -67,7 +77,12 @@ type NIC struct {
 	txBusy sim.Time
 	seq    uint64
 
+	// rxRing is a head-indexed queue: PostRxBuffer appends, FromWire
+	// consumes at rxHead, and the slice is reset (capacity kept) when it
+	// drains, so steady-state post/consume traffic reuses one backing
+	// array instead of reallocating as the window drifts.
 	rxRing    []rxDesc
+	rxHead    int
 	ringDepth int
 
 	onRx func(now sim.Time, c RxCompletion)
@@ -135,15 +150,25 @@ func (n *NIC) Failed() bool { return n.ep.Failed() }
 
 // PostRxBuffer gives the NIC a host buffer for a future inbound packet.
 func (n *NIC) PostRxBuffer(addr mem.Address, size int) error {
-	if len(n.rxRing) >= n.ringDepth {
+	if len(n.rxRing)-n.rxHead >= n.ringDepth {
 		return fmt.Errorf("nicsim %s: RX ring full (%d)", n.name, n.ringDepth)
+	}
+	if n.rxHead == len(n.rxRing) {
+		// Drained: rewind to reuse the backing array.
+		n.rxRing = n.rxRing[:0]
+		n.rxHead = 0
+	} else if n.rxHead >= n.ringDepth {
+		// Compact so the array never grows past 2x the ring depth.
+		m := copy(n.rxRing, n.rxRing[n.rxHead:])
+		n.rxRing = n.rxRing[:m]
+		n.rxHead = 0
 	}
 	n.rxRing = append(n.rxRing, rxDesc{addr: addr, size: size})
 	return nil
 }
 
 // RxRingLen returns the number of posted RX buffers.
-func (n *NIC) RxRingLen() int { return len(n.rxRing) }
+func (n *NIC) RxRingLen() int { return len(n.rxRing) - n.rxHead }
 
 // Stats returns packet/byte/drop counters.
 func (n *NIC) Stats() (txPackets, rxPackets, txBytes, rxBytes, rxDrops uint64) {
@@ -164,12 +189,15 @@ func (n *NIC) Transmit(now sim.Time, addr mem.Address, length int, dst string, s
 	if length > MTU {
 		return 0, fmt.Errorf("%w: %d > %d", ErrTooLong, length, MTU)
 	}
-	// Fetch the payload from host memory. This is where TX buffers in
-	// CXL cost more than DDR — and where that cost is visible to the
-	// experiment.
-	payload := make([]byte, length)
-	d, err := n.ep.DMARead(now, addr, payload)
+	// Fetch the payload from host memory into a fabric-recycled frame.
+	// This is where TX buffers in CXL cost more than DDR — and where
+	// that cost is visible to the experiment.
+	n.seq++
+	pkt := n.fabric.NewPacket(n.name, dst, length, stamp, n.seq)
+	d, err := n.ep.DMARead(now, addr, pkt.Payload)
 	if err != nil {
+		n.fabric.Release(pkt)
+		n.seq--
 		return 0, err
 	}
 	// Serialize onto the wire at line rate.
@@ -180,9 +208,8 @@ func (n *NIC) Transmit(now sim.Time, addr mem.Address, length int, dst string, s
 	xfer := n.rate.TransferTime(netsim.WireBytes(length))
 	n.txBusy = start + xfer
 	leave := start + xfer
-	n.seq++
-	pkt := &netsim.Packet{Src: n.name, Dst: dst, Payload: payload, Stamp: stamp, Seq: n.seq}
 	if err := n.fabric.Inject(leave, pkt); err != nil {
+		n.fabric.Release(pkt)
 		return 0, err
 	}
 	n.txPackets++
@@ -198,12 +225,12 @@ func (n *NIC) FromWire(now sim.Time, p *netsim.Packet) {
 		n.rxDrops++
 		return
 	}
-	if len(n.rxRing) == 0 {
+	if n.rxHead == len(n.rxRing) {
 		n.rxDrops++
 		return
 	}
-	desc := n.rxRing[0]
-	n.rxRing = n.rxRing[1:]
+	desc := n.rxRing[n.rxHead]
+	n.rxHead++
 	if len(p.Payload) > desc.size {
 		n.rxDrops++
 		return
@@ -219,7 +246,9 @@ func (n *NIC) FromWire(now sim.Time, p *netsim.Packet) {
 	if n.onRx != nil {
 		// The completion is observed by the stack after the DMA has
 		// landed. The fabric's engine ordering already placed `now`
-		// correctly; DMA latency is forwarded to the callback.
-		n.onRx(now+d, RxCompletion{Addr: desc.addr, Len: len(p.Payload), Packet: p})
+		// correctly; DMA latency is forwarded to the callback. The
+		// completion copies the frame metadata because the fabric
+		// recycles the packet as soon as FromWire returns.
+		n.onRx(now+d, RxCompletion{Addr: desc.addr, Len: len(p.Payload), Src: p.Src, Stamp: p.Stamp, Seq: p.Seq})
 	}
 }

@@ -220,7 +220,7 @@ func TestManyPacketsInOrder(t *testing.T) {
 	}
 	var seqs []uint64
 	r.b.OnReceive(func(_ sim.Time, c RxCompletion) {
-		seqs = append(seqs, c.Packet.Seq)
+		seqs = append(seqs, c.Seq)
 	})
 	now := sim.Time(0)
 	for i := 0; i < n; i++ {

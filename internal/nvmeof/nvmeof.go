@@ -42,14 +42,15 @@ var (
 	ErrNoSlot   = errors.New("nvmeof: too many outstanding commands")
 )
 
-func encodeHeader(op uint8, n uint32, lba int64, id uint64, stamp sim.Time) []byte {
-	buf := make([]byte, headerSize)
+// encodeHeaderInto packs a command/response header into buf, which must
+// hold at least headerSize bytes.
+func encodeHeaderInto(buf []byte, op uint8, n uint32, lba int64, id uint64, stamp sim.Time) {
 	buf[0] = op
+	buf[1], buf[2], buf[3] = 0, 0, 0
 	binary.LittleEndian.PutUint32(buf[4:8], n)
 	binary.LittleEndian.PutUint64(buf[8:16], uint64(lba))
 	binary.LittleEndian.PutUint64(buf[16:24], id)
 	binary.LittleEndian.PutUint64(buf[24:32], uint64(stamp))
-	return buf
 }
 
 type header struct {
@@ -82,8 +83,72 @@ type Target struct {
 	staging *mem.Region
 	alloc   *mem.Allocator
 
+	// Per-target scratch, reused across commands: frameBuf stages
+	// inbound command frames, respBuf outbound response frames, dataBuf
+	// SSD read payloads. Command handling is strictly sequential on the
+	// engine, so one of each suffices (zero steady-state allocation).
+	frameBuf []byte
+	respBuf  []byte
+	dataBuf  []byte
+	// ioFree recycles in-flight command contexts with their SSD
+	// completion callbacks, so serving a command does not allocate a
+	// fresh closure per I/O.
+	ioFree []*tgtIO
+
 	served uint64
 	errors uint64
+}
+
+// tgtIO is one in-flight command on the target, pooled with its
+// completion callback.
+type tgtIO struct {
+	t        *Target
+	src      string
+	h        header
+	dataAddr mem.Address
+	cb       func(ssdsim.Completion)
+}
+
+// getIO pops a recycled command context (building its permanent
+// callback on first use).
+func (t *Target) getIO(src string, h header, dataAddr mem.Address) *tgtIO {
+	var io *tgtIO
+	if k := len(t.ioFree); k > 0 {
+		io = t.ioFree[k-1]
+		t.ioFree[k-1] = nil
+		t.ioFree = t.ioFree[:k-1]
+	} else {
+		io = &tgtIO{t: t}
+		io.cb = io.complete
+	}
+	io.src, io.h, io.dataAddr = src, h, dataAddr
+	return io
+}
+
+// complete finishes a command when the SSD completion fires: recycle
+// the context first (copying its fields), then respond.
+func (io *tgtIO) complete(comp ssdsim.Completion) {
+	t, src, h, dataAddr := io.t, io.src, io.h, io.dataAddr
+	io.src = ""
+	t.ioFree = append(t.ioFree, io)
+	now := t.engine.Now()
+	switch h.op {
+	case opWrite:
+		_ = t.alloc.Free(dataAddr)
+		t.respond(now, src, h, nil)
+	case opRead:
+		if cap(t.dataBuf) < int(h.n) {
+			t.dataBuf = make([]byte, h.n)
+		}
+		data := t.dataBuf[:h.n]
+		if _, err := t.staging.ReadAt(now, dataAddr, data); err != nil {
+			_ = t.alloc.Free(dataAddr)
+			t.respondErr(now, src, h)
+			return
+		}
+		_ = t.alloc.Free(dataAddr)
+		t.respond(now, src, h, data)
+	}
 }
 
 // NewTarget wires a target: inbound command frames drive the SSD;
@@ -122,7 +187,10 @@ func (t *Target) Served() uint64 { return t.served }
 func (t *Target) onCommand(now sim.Time, c nicsim.RxCompletion) {
 	// Parse the frame from staging memory: the header rode in the
 	// packet payload which the NIC DMA-wrote at c.Addr.
-	frame := make([]byte, c.Len)
+	if cap(t.frameBuf) < c.Len {
+		t.frameBuf = make([]byte, c.Len)
+	}
+	frame := t.frameBuf[:c.Len]
 	if _, err := t.staging.ReadAt(now, c.Addr, frame); err != nil {
 		t.errors++
 		return
@@ -132,7 +200,7 @@ func (t *Target) onCommand(now sim.Time, c nicsim.RxCompletion) {
 		t.errors++
 		return
 	}
-	src := c.Packet.Src
+	src := c.Src
 	start := now + TargetProcessing
 	switch h.op {
 	case opWrite:
@@ -146,11 +214,9 @@ func (t *Target) onCommand(now sim.Time, c nicsim.RxCompletion) {
 			t.respondErr(start, src, h)
 			break
 		}
-		err = t.ssd.Submit(start, ssdsim.OpWrite, h.lba, int(h.n), dataAddr, func(comp ssdsim.Completion) {
-			_ = t.alloc.Free(dataAddr)
-			t.respond(t.engine.Now(), src, h, nil)
-		})
-		if err != nil {
+		io := t.getIO(src, h, dataAddr)
+		if err := t.ssd.Submit(start, ssdsim.OpWrite, h.lba, int(h.n), dataAddr, io.cb); err != nil {
+			t.ioFree = append(t.ioFree, io)
 			_ = t.alloc.Free(dataAddr)
 			t.respondErr(start, src, h)
 		}
@@ -160,17 +226,9 @@ func (t *Target) onCommand(now sim.Time, c nicsim.RxCompletion) {
 			t.respondErr(start, src, h)
 			break
 		}
-		err = t.ssd.Submit(start, ssdsim.OpRead, h.lba, int(h.n), dataAddr, func(comp ssdsim.Completion) {
-			data := make([]byte, h.n)
-			if _, err := t.staging.ReadAt(t.engine.Now(), dataAddr, data); err != nil {
-				_ = t.alloc.Free(dataAddr)
-				t.respondErr(t.engine.Now(), src, h)
-				return
-			}
-			_ = t.alloc.Free(dataAddr)
-			t.respond(t.engine.Now(), src, h, data)
-		})
-		if err != nil {
+		io := t.getIO(src, h, dataAddr)
+		if err := t.ssd.Submit(start, ssdsim.OpRead, h.lba, int(h.n), dataAddr, io.cb); err != nil {
+			t.ioFree = append(t.ioFree, io)
 			_ = t.alloc.Free(dataAddr)
 			t.respondErr(start, src, h)
 		}
@@ -181,10 +239,16 @@ func (t *Target) onCommand(now sim.Time, c nicsim.RxCompletion) {
 	_ = t.nic.PostRxBuffer(c.Addr, nicsim.MTU)
 }
 
-// respond sends a completion frame (with data for reads).
+// respond sends a completion frame (with data for reads), assembled in
+// the target's reusable response scratch.
 func (t *Target) respond(now sim.Time, dst string, h header, data []byte) {
-	frame := encodeHeader(opData, h.n, h.lba, h.id, h.stamp)
-	frame = append(frame, data...)
+	total := headerSize + len(data)
+	if cap(t.respBuf) < total {
+		t.respBuf = make([]byte, total)
+	}
+	frame := t.respBuf[:total]
+	encodeHeaderInto(frame, opData, h.n, h.lba, h.id, h.stamp)
+	copy(frame[headerSize:], data)
 	addr, err := t.alloc.Alloc(len(frame))
 	if err != nil {
 		t.errors++
@@ -204,7 +268,11 @@ func (t *Target) respond(now sim.Time, dst string, h header, data []byte) {
 
 func (t *Target) respondErr(now sim.Time, dst string, h header) {
 	t.errors++
-	frame := encodeHeader(opError, 0, h.lba, h.id, h.stamp)
+	if cap(t.respBuf) < headerSize {
+		t.respBuf = make([]byte, headerSize)
+	}
+	frame := t.respBuf[:headerSize]
+	encodeHeaderInto(frame, opError, 0, h.lba, h.id, h.stamp)
 	addr, err := t.alloc.Alloc(len(frame))
 	if err != nil {
 		return
@@ -226,6 +294,15 @@ type Initiator struct {
 
 	nextID  uint64
 	pending map[uint64]*pendingIO
+
+	// Per-connection scratch (see Target): txBuf stages outbound command
+	// frames, rxBuf inbound response frames, dataBuf the read payloads
+	// handed to completion callbacks.
+	txBuf   []byte
+	rxBuf   []byte
+	dataBuf []byte
+	// ioFree recycles pendingIO contexts across commands.
+	ioFree []*pendingIO
 
 	completed uint64
 	ioErrors  uint64
@@ -282,9 +359,17 @@ func (ini *Initiator) submit(now sim.Time, op uint8, lba int64, data []byte, n i
 	}
 	ini.nextID++
 	id := ini.nextID
-	frame := encodeHeader(op, uint32(n), lba, id, now)
+	total := headerSize
 	if op == opWrite {
-		frame = append(frame, data...)
+		total += len(data)
+	}
+	if cap(ini.txBuf) < total {
+		ini.txBuf = make([]byte, total)
+	}
+	frame := ini.txBuf[:total]
+	encodeHeaderInto(frame, op, uint32(n), lba, id, now)
+	if op == opWrite {
+		copy(frame[headerSize:], data)
 	}
 	addr, err := ini.alloc.Alloc(len(frame))
 	if err != nil {
@@ -295,9 +380,20 @@ func (ini *Initiator) submit(now sim.Time, op uint8, lba int64, data []byte, n i
 		_ = ini.alloc.Free(addr)
 		return err
 	}
-	ini.pending[id] = &pendingIO{start: now, onDone: onDone}
+	var p *pendingIO
+	if k := len(ini.ioFree); k > 0 {
+		p = ini.ioFree[k-1]
+		ini.ioFree[k-1] = nil
+		ini.ioFree = ini.ioFree[:k-1]
+	} else {
+		p = &pendingIO{}
+	}
+	p.start, p.onDone = now, onDone
+	ini.pending[id] = p
 	if _, err := ini.nic.Transmit(now+wd, addr, len(frame), ini.target, now); err != nil {
 		delete(ini.pending, id)
+		p.onDone = nil
+		ini.ioFree = append(ini.ioFree, p)
 		_ = ini.alloc.Free(addr)
 		return err
 	}
@@ -305,9 +401,15 @@ func (ini *Initiator) submit(now sim.Time, op uint8, lba int64, data []byte, n i
 	return nil
 }
 
-// onResponse completes a pending I/O.
+// onResponse completes a pending I/O. Read data is handed to the
+// pending onDone callback in a per-connection scratch buffer that is
+// reused by the next response: callbacks must consume or copy the bytes
+// before returning (see README "Buffer ownership & reuse").
 func (ini *Initiator) onResponse(now sim.Time, c nicsim.RxCompletion) {
-	frame := make([]byte, c.Len)
+	if cap(ini.rxBuf) < c.Len {
+		ini.rxBuf = make([]byte, c.Len)
+	}
+	frame := ini.rxBuf[:c.Len]
 	rd, err := ini.staging.ReadAt(now, c.Addr, frame)
 	done := now + rd
 	_ = ini.nic.PostRxBuffer(c.Addr, nicsim.MTU)
@@ -325,20 +427,26 @@ func (ini *Initiator) onResponse(now sim.Time, c nicsim.RxCompletion) {
 		return
 	}
 	delete(ini.pending, h.id)
+	onDone := p.onDone
+	p.onDone = nil
+	ini.ioFree = append(ini.ioFree, p)
 	ini.completed++
 	var data []byte
 	var ioErr error
 	switch h.op {
 	case opData:
 		if h.n > 0 && len(frame) >= headerSize+int(h.n) {
-			data = make([]byte, h.n)
+			if cap(ini.dataBuf) < int(h.n) {
+				ini.dataBuf = make([]byte, h.n)
+			}
+			data = ini.dataBuf[:h.n]
 			copy(data, frame[headerSize:])
 		}
 	case opError:
 		ioErr = errors.New("nvmeof: remote I/O failed")
 		ini.ioErrors++
 	}
-	if p.onDone != nil {
-		p.onDone(done, data, ioErr)
+	if onDone != nil {
+		onDone(done, data, ioErr)
 	}
 }

@@ -66,7 +66,9 @@ func TestRemoteWriteReadRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Errorf("read: %v", err)
 		}
-		got = data
+		// The data slice is the initiator's reusable scratch: copy to
+		// retain past the callback.
+		got = append([]byte(nil), data...)
 	}); err != nil {
 		t.Fatal(err)
 	}

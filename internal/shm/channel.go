@@ -154,6 +154,13 @@ type Sender struct {
 	consumedCache uint64
 	sent          uint64
 	fullEvents    uint64
+	// slot is the per-endpoint scratch buffer the outgoing slot image is
+	// assembled in; reused across Sends so the steady-state send path
+	// does not allocate.
+	slot []byte
+	// cursor stages consumer-cursor reads; a local array would escape
+	// through the cache's Memory interface on every full-ring check.
+	cursor [8]byte
 }
 
 // NewSender binds the producing side to a host cache.
@@ -178,23 +185,29 @@ func (s *Sender) Send(now sim.Time, payload []byte) (sim.Duration, error) {
 	var spent sim.Duration
 	if s.next+1-s.consumedCache > uint64(s.ch.slots) {
 		// Ring looks full: refresh the consumer's published cursor.
-		var cur [8]byte
-		d, err := s.cache.ReadFresh(now, s.ch.consumerAddr(), cur[:])
+		d, err := s.cache.ReadFresh(now, s.ch.consumerAddr(), s.cursor[:])
 		if err != nil {
 			return 0, err
 		}
 		spent += d
-		s.consumedCache = binary.LittleEndian.Uint64(cur[:])
+		s.consumedCache = binary.LittleEndian.Uint64(s.cursor[:])
 		if s.next+1-s.consumedCache > uint64(s.ch.slots) {
 			s.fullEvents++
 			return spent, ErrChannelFull
 		}
 	}
 	seq := s.next + 1
-	slot := make([]byte, s.ch.slotSize)
+	if cap(s.slot) < s.ch.slotSize {
+		s.slot = make([]byte, s.ch.slotSize)
+	}
+	slot := s.slot[:s.ch.slotSize]
 	binary.LittleEndian.PutUint32(slot[0:4], uint32(seq)) // truncated seq; see Receiver
 	binary.LittleEndian.PutUint16(slot[4:6], uint16(len(payload)))
-	copy(slot[slotHeaderSize:], payload)
+	slot[6], slot[7] = 0, 0 // flags
+	n := copy(slot[slotHeaderSize:], payload)
+	for i := slotHeaderSize + n; i < len(slot); i++ {
+		slot[i] = 0 // clear residue from the previous message
+	}
 	addr := s.ch.slotAddr(s.next)
 	var d sim.Duration
 	var err error
@@ -232,6 +245,12 @@ type Receiver struct {
 	publishEvery uint64
 	received     uint64
 	emptyPolls   uint64
+	// slot is the per-endpoint scratch buffer polled slot images land
+	// in; reused across Polls so the steady-state poll path does not
+	// allocate.
+	slot []byte
+	// cursor stages consumer-cursor publishes (see Sender.cursor).
+	cursor [8]byte
 }
 
 // NewReceiver binds the consuming side to a host cache.
@@ -253,8 +272,29 @@ func (r *Receiver) EmptyPolls() uint64 { return r.emptyPolls }
 // ok=false means no message was ready (latency is still the cost of the
 // failed check — polling non-coherent CXL memory is not free, which is
 // exactly why the paper measures this channel).
+//
+// The returned payload is a freshly allocated slice the caller owns.
+// Hot paths should prefer PollInto, which reuses a caller-owned buffer.
 func (r *Receiver) Poll(now sim.Time) ([]byte, sim.Duration, bool, error) {
-	slot := make([]byte, r.ch.slotSize)
+	return r.PollInto(now, nil)
+}
+
+// PollInto is Poll with caller-owned payload storage: the message
+// payload is appended to buf (usually scratch[:0]) and the extended
+// slice returned, so a receiver polling in a loop runs allocation-free.
+// The returned slice aliases buf's array when capacity suffices; it is
+// the caller's to reuse or retain.
+//
+// When ok is true and err is non-nil, the message WAS consumed — the
+// payload and latency are valid — but publishing the consumer cursor
+// back to shared memory failed. Dropping the payload in that case would
+// lose a message the ring has already advanced past; callers should
+// process it and then surface the error.
+func (r *Receiver) PollInto(now sim.Time, buf []byte) ([]byte, sim.Duration, bool, error) {
+	if cap(r.slot) < r.ch.slotSize {
+		r.slot = make([]byte, r.ch.slotSize)
+	}
+	slot := r.slot[:r.ch.slotSize]
 	d, err := r.cache.ReadFresh(now, r.ch.slotAddr(r.next), slot)
 	if err != nil {
 		return nil, 0, false, err
@@ -268,18 +308,17 @@ func (r *Receiver) Poll(now sim.Time) ([]byte, sim.Duration, bool, error) {
 	if n > r.ch.MaxPayload() {
 		return nil, d, false, fmt.Errorf("%w: slot length %d", ErrCorrupt, n)
 	}
-	payload := make([]byte, n)
-	copy(payload, slot[slotHeaderSize:slotHeaderSize+n])
+	payload := append(buf, slot[slotHeaderSize:slotHeaderSize+n]...)
 	r.next++
 	r.received++
 	// Periodically publish the consumer cursor so the sender can reuse
-	// slots.
+	// slots. A publish failure must not lose the already-consumed
+	// message: return it alongside the error (ok stays true).
 	if r.received%r.publishEvery == 0 {
-		var cur [8]byte
-		binary.LittleEndian.PutUint64(cur[:], r.next)
-		pd, err := r.cache.NTStore(now+d, r.ch.consumerAddr(), cur[:])
+		binary.LittleEndian.PutUint64(r.cursor[:], r.next)
+		pd, err := r.cache.NTStore(now+d, r.ch.consumerAddr(), r.cursor[:])
 		if err != nil {
-			return nil, 0, false, err
+			return payload, d, true, err
 		}
 		d += pd
 	}

@@ -124,12 +124,15 @@ func PingPong(cfg PingPongConfig) (*PingPongResult, error) {
 	now := sim.Time(0)
 	payload := make([]byte, chAB.MaxPayload())
 	copy(payload, "ping-pong-payload")
+	// rxBuf is the receive-side scratch both receivers append into
+	// (PollInto), keeping the measurement loop allocation-free.
+	rxBuf := make([]byte, 0, chAB.MaxPayload())
 
 	// oneLeg sends from s to r and returns the receive completion time.
 	oneLeg := func(t0 sim.Time, s *Sender, r *Receiver) (sim.Time, error) {
 		// Exercise the miss path once per leg: the receiver was already
 		// spinning before the message was sent.
-		if _, d, ok, err := r.Poll(t0); err != nil {
+		if _, d, ok, err := r.PollInto(t0, rxBuf[:0]); err != nil {
 			return 0, err
 		} else if ok {
 			return 0, fmt.Errorf("shm: poll saw a message before it was sent")
@@ -149,7 +152,7 @@ func PingPong(cfg PingPongConfig) (*PingPongResult, error) {
 		period := sim.Duration(emptySum/float64(emptyN)) + cfg.PollOverhead
 		phase := sim.Duration(rng.Int63n(int64(period)))
 		pollAt := visible + phase
-		payloadGot, pd, ok, err := r.Poll(pollAt)
+		payloadGot, pd, ok, err := r.PollInto(pollAt, rxBuf[:0])
 		if err != nil {
 			return 0, err
 		}

@@ -93,7 +93,17 @@ type SSD struct {
 	engine   *sim.Engine
 	media    Media
 	capacity int64 // bytes
-	data     []byte
+	// store is the media content, held in a sparse untimed Region so a
+	// mostly-untouched multi-gigabyte SSD costs kilobytes, not its full
+	// capacity, of host memory (timing comes from the media model, not
+	// the store).
+	store *mem.Region
+	// xferBuf is the per-device DMA staging scratch, reused across
+	// commands (the device serializes transfers internally).
+	xferBuf []byte
+	// compFree recycles completion events with their callbacks (see
+	// netsim.delivery for the pattern).
+	compFree []*compEvent
 
 	// chans implements internal parallelism: commands are assigned
 	// round-robin to NAND channels, each a fluid queue in time.
@@ -120,7 +130,7 @@ func NewWithMedia(name string, engine *sim.Engine, capacity int64, media Media) 
 		engine:   engine,
 		media:    media,
 		capacity: capacity,
-		data:     make([]byte, capacity),
+		store:    mem.NewRegion(name+"-media", 0, int(capacity), mem.Timing{}, nil),
 		chanFree: make([]sim.Time, Parallelism),
 	}
 }
@@ -149,6 +159,49 @@ func (s *SSD) Failed() bool { return s.ep.Failed() }
 // Stats returns op and byte counters.
 func (s *SSD) Stats() (reads, writes, bytesRead, bytesWritten uint64) {
 	return s.reads, s.writes, s.bytesRead, s.bytesWritten
+}
+
+// xfer returns the DMA staging scratch, grown to hold n bytes. The
+// slice is reused by the next command; Submit consumes it before
+// returning.
+func (s *SSD) xfer(n int) []byte {
+	if cap(s.xferBuf) < n {
+		s.xferBuf = make([]byte, n)
+	}
+	return s.xferBuf[:n]
+}
+
+// compEvent is one scheduled completion, pooled with its callback so
+// steady-state I/O does not allocate a closure per command.
+type compEvent struct {
+	s    *SSD
+	done func(Completion)
+	c    Completion
+	fn   func()
+}
+
+// schedule fires done(c) at `at` through a recycled completion event.
+func (s *SSD) schedule(at sim.Time, done func(Completion), c Completion) {
+	var e *compEvent
+	if k := len(s.compFree); k > 0 {
+		e = s.compFree[k-1]
+		s.compFree[k-1] = nil
+		s.compFree = s.compFree[:k-1]
+	} else {
+		e = &compEvent{s: s}
+		e.fn = e.run
+	}
+	e.done, e.c = done, c
+	s.engine.At(at, e.fn)
+}
+
+// run recycles the event before invoking the callback, so a callback
+// that submits new I/O can reuse it.
+func (e *compEvent) run() {
+	done, c := e.done, e.c
+	e.done = nil
+	e.s.compFree = append(e.s.compFree, e)
+	done(c)
 }
 
 func (s *SSD) check(lba int64, n int) error {
@@ -191,8 +244,8 @@ func (s *SSD) Submit(now sim.Time, op Op, lba int64, n int, bufAddr mem.Address,
 	switch op {
 	case OpRead:
 		nand := s.nandTime(now, n, s.media.ReadLatency)
-		buf := make([]byte, n)
-		copy(buf, s.data[lba:lba+int64(n)])
+		buf := s.xfer(n)
+		_ = s.store.Peek(mem.Address(lba), buf)
 		dma, err := s.ep.DMAWrite(now+nand, bufAddr, buf)
 		if err != nil {
 			return err
@@ -200,23 +253,19 @@ func (s *SSD) Submit(now sim.Time, op Op, lba int64, n int, bufAddr mem.Address,
 		total := nand + dma
 		s.reads++
 		s.bytesRead += uint64(n)
-		s.engine.At(now+total, func() {
-			done(Completion{Op: op, LBA: lba, Len: n, Latency: total})
-		})
+		s.schedule(now+total, done, Completion{Op: op, LBA: lba, Len: n, Latency: total})
 	case OpWrite:
-		buf := make([]byte, n)
+		buf := s.xfer(n)
 		dma, err := s.ep.DMARead(now, bufAddr, buf)
 		if err != nil {
 			return err
 		}
-		copy(s.data[lba:lba+int64(n)], buf)
+		_ = s.store.Poke(mem.Address(lba), buf)
 		nand := s.nandTime(now+dma, n, s.media.WriteLatency)
 		total := dma + nand
 		s.writes++
 		s.bytesWritten += uint64(n)
-		s.engine.At(now+total, func() {
-			done(Completion{Op: op, LBA: lba, Len: n, Latency: total})
-		})
+		s.schedule(now+total, done, Completion{Op: op, LBA: lba, Len: n, Latency: total})
 	default:
 		return fmt.Errorf("ssdsim: unknown op %d", op)
 	}

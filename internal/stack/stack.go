@@ -94,6 +94,8 @@ type Server struct {
 	// to the earliest-free core. The paper's testbed uses a single
 	// Junction core; extra workers are for the scaling ablation.
 	workerFree []sim.Time
+	// reqBuf is the per-server request staging scratch (grow-once).
+	reqBuf []byte
 
 	served   uint64
 	rxErrors uint64
@@ -162,7 +164,12 @@ func (s *Server) process(now sim.Time, c nicsim.RxCompletion) {
 	}
 	// Read the request payload (CPU-side view; the latency difference
 	// between DDR and CXL placement appears here and is pipelined).
-	req := make([]byte, c.Len)
+	// reqBuf is per-server scratch: req is consumed within this call
+	// (the echo's WriteCPU below), never retained.
+	if cap(s.reqBuf) < c.Len {
+		s.reqBuf = make([]byte, c.Len)
+	}
+	req := s.reqBuf[:c.Len]
 	rd, err := s.pool.ReadCPU(start, c.Addr, req)
 	if err != nil {
 		s.rxErrors++
@@ -191,10 +198,10 @@ func (s *Server) process(now sim.Time, c nicsim.RxCompletion) {
 	// This packet's completion additionally pays the (pipelined) memory
 	// latency of its own buffer accesses.
 	done := start + occupancy + rd + wr
-	pkt := c.Packet
+	n := len(req)
 	s.engine.At(done+StackTraversal, func() {
 		t := done + StackTraversal
-		if _, err := s.nic.Transmit(t, txAddr, len(req), pkt.Src, pkt.Stamp); err != nil {
+		if _, err := s.nic.Transmit(t, txAddr, n, c.Src, c.Stamp); err != nil {
 			s.rxErrors++
 		}
 		// Transmit DMA-read the TX buffer synchronously; both buffers
@@ -215,6 +222,9 @@ type Client struct {
 
 	dst     string
 	payload int
+	// pattern is the request payload, identical for every send; built
+	// once instead of per packet.
+	pattern []byte
 
 	sent      uint64
 	responses uint64
@@ -242,7 +252,11 @@ func NewClient(engine *sim.Engine, nic *nicsim.NIC, pool *BufferPool, dst string
 		rng:     rng,
 		dst:     dst,
 		payload: payload,
+		pattern: make([]byte, payload),
 		RTT:     metrics.NewRecorder(1 << 16),
+	}
+	for i := range c.pattern {
+		c.pattern[i] = byte(i)
 	}
 	nic.AttachHostMemory(pool.DMAView())
 	for i := 0; i < ringDepth; i++ {
@@ -298,11 +312,7 @@ func (c *Client) sendOne(t sim.Time) {
 	if err != nil {
 		return // client out of buffers; open-loop drop
 	}
-	buf := make([]byte, c.payload)
-	for i := range buf {
-		buf[i] = byte(i)
-	}
-	wr, err := c.pool.WriteCPU(t, addr, buf)
+	wr, err := c.pool.WriteCPU(t, addr, c.pattern)
 	if err != nil {
 		_ = c.pool.Free(addr)
 		return
@@ -320,13 +330,12 @@ func (c *Client) sendOne(t sim.Time) {
 // onReceive records the RTT of a response.
 func (c *Client) onReceive(now sim.Time, comp nicsim.RxCompletion) {
 	done := now + StackTraversal
-	pkt := comp.Packet
 	c.engine.At(done, func() {
 		c.responses++
 		if c.Window == 0 || done <= c.Window {
 			c.responsesInWindow++
 		}
-		c.RTT.Record(float64(done - pkt.Stamp))
+		c.RTT.Record(float64(done - comp.Stamp))
 		_ = c.nic.PostRxBuffer(comp.Addr, c.payload)
 	})
 }
