@@ -12,6 +12,7 @@ import (
 	"io"
 	"testing"
 
+	"cxlpool/internal/cluster"
 	"cxlpool/internal/core"
 	"cxlpool/internal/experiments"
 	"cxlpool/internal/orch"
@@ -20,6 +21,7 @@ import (
 	"cxlpool/internal/stack"
 	"cxlpool/internal/stranding"
 	"cxlpool/internal/torless"
+	"cxlpool/internal/workload"
 )
 
 // BenchmarkFigure2Stranding regenerates Figure 2 (stranded CPU, memory,
@@ -234,6 +236,33 @@ func BenchmarkVNICRemoteDatapath(b *testing.B) {
 			if _, err := pod.Engine.RunUntil(now); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// BenchmarkClusterFederation is the rack-scale bench: a federated
+// 4-rack cluster (each rack a full pod with its own orchestrator)
+// absorbing a 12x rotating hotspot for four epochs — E14's scenario
+// without the size sweep. Per-op cost is one multi-rack control-plane
+// cycle: placement, pressure spills, repatriation, and the simulated
+// tenant traffic underneath.
+func BenchmarkClusterFederation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := cluster.New(cluster.Config{
+			Racks:          4,
+			TenantsPerRack: 6,
+			Seed:           int64(i),
+			Federate:       true,
+			Skew:           workload.RackSkew{HotFactor: 12, Period: 2},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Run(4); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, mig, _ := c.Counters(); mig.Total() == 0 {
+			b.Fatal("federation cycle moved nothing")
 		}
 	}
 }

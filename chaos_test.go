@@ -2,6 +2,8 @@ package cxlpool
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 
 	"cxlpool/internal/core"
@@ -9,9 +11,21 @@ import (
 	"cxlpool/internal/sim"
 )
 
+// chaosSeeds returns how many chaos seeds to run: 6 by default, more
+// when CHAOS_SEEDS is set (CI runs a wider sweep than the local loop).
+func chaosSeeds() int64 {
+	if s := os.Getenv("CHAOS_SEEDS"); s != "" {
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 6
+}
+
 // TestChaosRandomFaults drives a pooled rack under randomized fault
-// injection — device failures, repairs, and ToR blips at random times —
-// and checks the system's safety and liveness invariants at the end:
+// injection — device failures, repairs, ToR blips, and an orchestrator
+// stop/restart cycle at random times — and checks the system's safety
+// and liveness invariants at the end:
 //
 //  1. the orchestrator leaves no vNIC assigned to a failed device when
 //     a healthy one exists,
@@ -20,7 +34,7 @@ import (
 //  3. the shared-segment allocator conserves bytes (no leak or double
 //     accounting through all the remaps).
 func TestChaosRandomFaults(t *testing.T) {
-	for seed := int64(1); seed <= 6; seed++ {
+	for seed := int64(1); seed <= chaosSeeds(); seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			pod, err := core.NewPod(core.Config{
@@ -122,6 +136,18 @@ func TestChaosRandomFaults(t *testing.T) {
 			blipAt := sim.Duration(rng.Int63n(int64(horizon) / 2))
 			pod.Engine.At(blipAt, func() { pod.Fabric.Fail() })
 			pod.Engine.At(blipAt+2*sim.Millisecond, func() { pod.Fabric.Repair() })
+			// A control-plane outage in the middle of the fault storm:
+			// the orchestrator goes away for a few milliseconds and must
+			// pick up whatever failed in its absence once restarted.
+			// Events its first run left in the sim queue must stay dead
+			// (no doubled sweep cadence after restart).
+			stopAt := sim.Duration(rng.Int63n(int64(horizon)/2)) + sim.Duration(horizon)/4
+			pod.Engine.At(stopAt, func() { o.Stop() })
+			pod.Engine.At(stopAt+4*sim.Millisecond, func() {
+				if err := o.Start(); err != nil {
+					t.Errorf("orchestrator restart: %v", err)
+				}
+			})
 
 			if _, err := pod.Engine.RunUntil(horizon + 10*sim.Millisecond); err != nil {
 				t.Fatal(err)

@@ -7,7 +7,7 @@
 //	cxlpool <experiment> [flags] run one experiment
 //
 // Experiments: figure2, sqrtn, figure3, figure4, cost, lanes, memlat,
-// failover, ablate, torless, pooled, storage, figure2xl.
+// failover, ablate, torless, pooled, storage, figure2xl, cluster.
 //
 // `all` fans experiments out across up to -workers goroutines (default
 // and effective ceiling GOMAXPROCS; 1 forces a sequential run). Output
@@ -15,6 +15,8 @@
 // function of the seed and results are merged in registry order.
 //
 // figure3 accepts -payload {75|1500|9000|all}.
+// cluster accepts -racks N (>= 2, default 4) and -workers W; racks
+// simulate in parallel with byte-identical output for any W.
 package main
 
 import (
@@ -42,7 +44,8 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	seed := fs.Int64("seed", 42, "simulation seed")
 	payload := fs.String("payload", "all", "figure3 payload size: 75, 1500, 9000, or all")
-	workers := fs.Int("workers", 0, "parallel experiment workers for 'all' (0 = GOMAXPROCS, 1 = sequential)")
+	workers := fs.Int("workers", 0, "parallel workers for 'all' and 'cluster' (0 = GOMAXPROCS, 1 = sequential)")
+	racks := fs.Int("racks", 4, "cluster experiment rack count (>= 2)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -55,6 +58,11 @@ func main() {
 	case "all":
 		if err := experiments.RunAll(os.Stdout, *seed, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "cxlpool: %v\n", err)
+			os.Exit(1)
+		}
+	case "cluster":
+		if err := experiments.ClusterFederationN(os.Stdout, *seed, *racks, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "cxlpool: cluster: %v\n", err)
 			os.Exit(1)
 		}
 	case "figure3":

@@ -1,0 +1,795 @@
+// Package cluster federates pod-level orchestrators into a multi-rack
+// control plane — the fleet-scale layer the ROADMAP's north star asks
+// for. A Cluster owns N racks; each rack is a fully simulated core.Pod
+// (hosts, CXL pool, ToR fabric, shared-memory channels) managed by its
+// own orch.Orchestrator. The cluster layer adds what a single pod
+// cannot express:
+//
+//   - Failure domains: a rack is the blast radius of a ToR or pod
+//     failure, and the unit of maintenance (DrainRack).
+//   - An inter-rack fabric (FabricModel): spill placements, cross-rack
+//     migrations, and drains pay spine latency and bandwidth, so
+//     federation is never free.
+//   - Failure-domain-aware placement: a tenant lands in its home rack
+//     while pressure allows, spills to the least-pressured remote rack
+//     when it does not, and is repatriated when home cools down.
+//
+// Time advances in epochs. Within an epoch every rack simulates its
+// tenants' traffic packet-by-packet on its private sim.Engine; racks
+// fan out across the runner worker pool, and because each rack is a
+// pure function of its seed the cluster's output is byte-identical for
+// any worker count. Between epochs the global orchestrator runs on one
+// goroutine, reading per-rack pressure and moving tenants — mirroring,
+// one level up, the publish/sweep split inside orch.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"cxlpool/internal/core"
+	"cxlpool/internal/metrics"
+	"cxlpool/internal/orch"
+	"cxlpool/internal/runner"
+	"cxlpool/internal/sim"
+	"cxlpool/internal/workload"
+)
+
+// Defaults.
+const (
+	// DefaultEpoch is the per-round simulated horizon.
+	DefaultEpoch sim.Duration = 2 * sim.Millisecond
+	// DefaultPressureThreshold is the offered-demand fraction of rack
+	// NIC capacity above which placement spills to a remote rack.
+	DefaultPressureThreshold = 0.7
+	// DefaultTenantState is the device state streamed on a cross-rack
+	// migration (buffers, rings, mappings).
+	DefaultTenantState = 16 << 20
+	// tenantCapGbps bounds one tenant's demand: a single flow cannot
+	// drive more than roughly one pooled 100 Gbps device.
+	tenantCapGbps = 80.0
+	// payloadBytes is the tenant traffic payload (jumbo frames).
+	payloadBytes = 8192
+)
+
+// Errors.
+var (
+	ErrUnknownRack  = errors.New("cluster: unknown rack")
+	ErrDraining     = errors.New("cluster: rack is draining")
+	ErrNotFederated = errors.New("cluster: federation disabled")
+)
+
+// Config sizes a cluster.
+type Config struct {
+	// Racks is the failure-domain count (default 4).
+	Racks int
+	// HostsPerRack sizes each pod; host0 is the rack's orchestrator
+	// home and traffic sink, hosts 1.. contribute pooled NICs
+	// (default 3).
+	HostsPerRack int
+	// NICsPerHost is pooled NICs per device host (default 1).
+	NICsPerHost int
+	// TenantsPerRack is how many tenants call each rack home
+	// (default 4).
+	TenantsPerRack int
+	// Seed drives every rack engine and the demand sampler.
+	Seed int64
+	// Policy is each rack orchestrator's allocation policy
+	// (default LocalFirst).
+	Policy orch.Policy
+	// Fabric is the interconnect model (zero value: DefaultFabric).
+	Fabric FabricModel
+	// Epoch is the per-round simulated horizon (default DefaultEpoch).
+	Epoch sim.Duration
+	// PressureThreshold gates local placement (default 0.7).
+	PressureThreshold float64
+	// Federate enables cross-rack spill, migration, and drains; when
+	// false the cluster degenerates to isolated racks (the paper's
+	// no-pooling baseline, one level up).
+	Federate bool
+	// Skew is the demand schedule (Racks is filled in automatically).
+	Skew workload.RackSkew
+	// TenantState is bytes streamed per cross-rack move (default 16 MiB).
+	TenantState int
+	// Workers bounds parallel rack simulation (<= 0: GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Racks <= 0 {
+		c.Racks = 4
+	}
+	if c.HostsPerRack < 2 {
+		c.HostsPerRack = 3
+	}
+	if c.NICsPerHost <= 0 {
+		c.NICsPerHost = 1
+	}
+	if c.TenantsPerRack <= 0 {
+		c.TenantsPerRack = 4
+	}
+	if c.Epoch <= 0 {
+		c.Epoch = DefaultEpoch
+	}
+	if c.PressureThreshold <= 0 {
+		c.PressureThreshold = DefaultPressureThreshold
+	}
+	if c.TenantState <= 0 {
+		c.TenantState = DefaultTenantState
+	}
+	c.Fabric = c.Fabric.defaults()
+	c.Skew.Racks = c.Racks
+	return c
+}
+
+// Tenant is one pooled-NIC consumer: homed in a rack, currently placed
+// in a (possibly different) rack, demanding gbps of egress.
+type Tenant struct {
+	Name string
+	// Home is the rack the tenant's compute lives in.
+	Home int
+	// BaseGbps is the tenant's baseline demand; the skew schedule
+	// multiplies it per epoch.
+	BaseGbps float64
+
+	idx  int     // cluster-wide ordinal (payload tag for attribution)
+	gbps float64 // this epoch's demand
+	rack int     // current placement (-1: unplaced)
+	vnic *core.VirtualNIC
+	user *core.Host
+
+	offeredBytes uint64
+	sentBytes    uint64
+}
+
+// Rack returns the tenant's current rack index (-1 when unplaced).
+func (t *Tenant) Rack() int { return t.rack }
+
+// Gbps returns this epoch's demand.
+func (t *Tenant) Gbps() float64 { return t.gbps }
+
+// Traffic returns the tenant's cumulative offered and accepted bytes
+// (accepted = handed to the datapath without backpressure).
+func (t *Tenant) Traffic() (offered, sent uint64) { return t.offeredBytes, t.sentBytes }
+
+// Delivered returns a tenant's cumulative bytes landed at rack sinks,
+// summed across every rack it has lived in.
+func (c *Cluster) Delivered(t *Tenant) uint64 {
+	var sum uint64
+	for _, r := range c.racks {
+		if t.idx < len(r.deliveredBy) {
+			sum += r.deliveredBy[t.idx]
+		}
+	}
+	return sum
+}
+
+// Rack is one failure domain: a fully simulated pod plus its pod-level
+// orchestrator.
+type Rack struct {
+	Name string
+	Pod  *core.Pod
+	Orch *orch.Orchestrator
+
+	index    int
+	sinks    []*core.VirtualNIC
+	sinkNICs []string
+	clock    sim.Time
+	draining bool
+
+	capacityGbps   float64
+	deliveredBytes uint64
+	// deliveredBy attributes this rack's sink deliveries to tenants by
+	// cluster ordinal (read from the payload tag). Rack-local: only
+	// this rack's epoch worker writes it, so a migrated tenant's
+	// straggler packets are still credited without cross-rack writes.
+	deliveredBy []uint64
+
+	// payload is the rack-local traffic scratch (rack workers never
+	// share state).
+	payload []byte
+}
+
+// Draining reports whether the rack is under maintenance drain.
+func (r *Rack) Draining() bool { return r.draining }
+
+// CapacityGbps is the rack's aggregate pooled-NIC line rate.
+func (r *Rack) CapacityGbps() float64 { return r.capacityGbps }
+
+// Cluster is the global orchestrator.
+type Cluster struct {
+	cfg     Config
+	racks   []*Rack
+	tenants []*Tenant // stable placement/iteration order
+
+	// Per-rack counters (first-Add order = rack order).
+	placedLocal *metrics.CounterSet
+	placedSpill *metrics.CounterSet
+	migratedOut *metrics.CounterSet
+	drained     *metrics.CounterSet
+	// MigrationTime records the modeled cost of each cross-rack move.
+	MigrationTime *metrics.Recorder
+
+	epoch int
+}
+
+// EpochStats is one epoch's per-rack accounting.
+type EpochStats struct {
+	Epoch   int
+	HotRack int
+	// Per-rack series, rack order.
+	OfferedGbps   []float64
+	DeliveredGbps []float64
+	Pressure      []float64 // offered demand / capacity at epoch start
+	MeasuredLoad  []float64 // orch mean device load at epoch end
+	// Control-plane activity this epoch.
+	Migrations    int
+	Repatriations int
+	Unplaced      int
+}
+
+// New builds the racks, their orchestrators, and the tenant
+// population, and places every tenant (epoch-0 placement).
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:           cfg,
+		placedLocal:   metrics.NewCounterSet(),
+		placedSpill:   metrics.NewCounterSet(),
+		migratedOut:   metrics.NewCounterSet(),
+		drained:       metrics.NewCounterSet(),
+		MigrationTime: metrics.NewRecorder(64),
+	}
+	for r := 0; r < cfg.Racks; r++ {
+		rack, err := c.buildRack(r)
+		if err != nil {
+			return nil, err
+		}
+		c.racks = append(c.racks, rack)
+		c.placedLocal.Add(rack.Name, 0)
+		c.placedSpill.Add(rack.Name, 0)
+		c.migratedOut.Add(rack.Name, 0)
+		c.drained.Add(rack.Name, 0)
+	}
+	// Tenant population: BaseGbps from the workload mix. The sampler is
+	// seeded per rack so rack r's tenants are identical at every
+	// cluster size — the pooling-benefit sweep then varies exactly one
+	// thing, the number of racks pooled.
+	for r := 0; r < cfg.Racks; r++ {
+		demand, err := workload.NewTenantDemand(nil, nil, sim.NewRand(cfg.Seed*31+7+int64(r)))
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < cfg.TenantsPerRack; i++ {
+			c.tenants = append(c.tenants, &Tenant{
+				Name:     fmt.Sprintf("r%dt%d", r, i),
+				Home:     r,
+				BaseGbps: demand.Next(),
+				idx:      len(c.tenants),
+				rack:     -1,
+			})
+		}
+	}
+	for _, r := range c.racks {
+		r.deliveredBy = make([]uint64, len(c.tenants))
+	}
+	return c, nil
+}
+
+// buildRack assembles one failure domain: pod, NICs, orchestrator,
+// sink.
+func (c *Cluster) buildRack(idx int) (*Rack, error) {
+	cfg := c.cfg
+	pod, err := core.NewPod(core.Config{
+		Hosts:             cfg.HostsPerRack,
+		NICsPerHost:       0, // attached explicitly below
+		SharedSize:        64 << 20,
+		DeviceSize:        128 << 20,
+		Seed:              cfg.Seed + int64(idx)*1009,
+		AgentPollInterval: sim.Microsecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rack := &Rack{
+		Name:    fmt.Sprintf("rack%d", idx),
+		Pod:     pod,
+		index:   idx,
+		payload: make([]byte, payloadBytes),
+	}
+	for i := range rack.payload {
+		rack.payload[i] = byte(i)
+	}
+	o, err := orch.New(pod, "host0", cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	o.EnableRebalance = true
+	rack.Orch = o
+	// hosts[1:] contribute the pooled devices; host0 carries the sink
+	// NICs, deliberately outside the pool: the orchestrator must never
+	// back a tenant vNIC with one (Bind would steal the sink's RX
+	// delivery callback).
+	hosts := pod.Hosts()
+	sinkHost, err := pod.Host(hosts[0])
+	if err != nil {
+		return nil, err
+	}
+	devices := 0
+	for _, hn := range hosts[1:] {
+		h, err := pod.Host(hn)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < cfg.NICsPerHost; j++ {
+			name := fmt.Sprintf("%s-nic%d", hn, j)
+			nic, err := h.AddNIC(name)
+			if err != nil {
+				return nil, err
+			}
+			if err := o.RegisterDevice(h, name); err != nil {
+				return nil, err
+			}
+			rack.capacityGbps += float64(nic.LineRate()) * 8
+			devices++
+		}
+	}
+	// One sink port per pooled device, so the receive side never caps
+	// the rack below its pooled capacity: losses under overload happen
+	// where they should, at the pooled NICs' line rate.
+	onDelivery := func(_ sim.Time, _ string, payload []byte) {
+		rack.deliveredBytes += uint64(len(payload))
+		if len(payload) >= 4 {
+			if idx := binary.LittleEndian.Uint32(payload[:4]); int(idx) < len(rack.deliveredBy) {
+				rack.deliveredBy[idx] += uint64(len(payload))
+			}
+		}
+	}
+	for j := 0; j < devices; j++ {
+		name := fmt.Sprintf("%s-snk%d", hosts[0], j)
+		if _, err := sinkHost.AddNIC(name); err != nil {
+			return nil, err
+		}
+		sink := core.NewVirtualNIC(sinkHost, fmt.Sprintf("%s-sink%d", rack.Name, j), core.VNICConfig{
+			BufSize:   payloadBytes + 1024,
+			RxBuffers: 1024,
+		})
+		if _, err := sink.Bind(sinkHost, name); err != nil {
+			return nil, err
+		}
+		sink.OnReceive(onDelivery)
+		rack.sinks = append(rack.sinks, sink)
+		rack.sinkNICs = append(rack.sinkNICs, name)
+	}
+	if err := o.Start(); err != nil {
+		return nil, err
+	}
+	return rack, nil
+}
+
+// Config returns the cluster's effective (defaulted) configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Racks returns the racks in index order.
+func (c *Cluster) Racks() []*Rack { return c.racks }
+
+// Tenants returns the tenant population in stable order.
+func (c *Cluster) Tenants() []*Tenant { return c.tenants }
+
+// Counters returns (local placements, spill placements, cross-rack
+// migrations out, drain relocations), each per-rack in rack order.
+func (c *Cluster) Counters() (local, spill, migrated, drained *metrics.CounterSet) {
+	return c.placedLocal, c.placedSpill, c.migratedOut, c.drained
+}
+
+// offeredGbps sums current demand placed on a rack.
+func (c *Cluster) offeredGbps(rackIdx int) float64 {
+	var sum float64
+	for _, t := range c.tenants {
+		if t.rack == rackIdx {
+			sum += t.gbps
+		}
+	}
+	return sum
+}
+
+// pressure is offered demand over capacity, the global placement
+// signal. Demand is known exactly at this layer (the cluster admits
+// the tenants), so pressure needs no EWMA; the measured per-device
+// loads inside each orch corroborate it in the epoch stats.
+func (c *Cluster) pressure(rackIdx int) float64 {
+	r := c.racks[rackIdx]
+	if r.capacityGbps == 0 {
+		return 1
+	}
+	return c.offeredGbps(rackIdx) / r.capacityGbps
+}
+
+// userFor returns the deterministic user host a tenant gets in a rack:
+// device hosts are hosts[1:], spread by the tenant's cluster ordinal.
+func (c *Cluster) userFor(t *Tenant, rack *Rack) (*core.Host, error) {
+	hosts := rack.Pod.Hosts()
+	return rack.Pod.Host(hosts[1+t.idx%(len(hosts)-1)])
+}
+
+// canServe reports whether a rack could bind the tenant right now: not
+// draining, and its orchestrator's pick primitive finds a usable
+// device (all-failed racks must not attract placements).
+func (c *Cluster) canServe(t *Tenant, rackIdx int) bool {
+	r := c.racks[rackIdx]
+	if r.draining {
+		return false
+	}
+	user, err := c.userFor(t, r)
+	if err != nil {
+		return false
+	}
+	_, err = r.Orch.PickDevice(user, "")
+	return err == nil
+}
+
+// coldestRackFor returns the lowest-pressure rack that can serve the
+// tenant (excluding `exclude`; pass -1 to consider all), or -1 if none
+// exist. Ties break toward the lowest index, keeping placement
+// deterministic.
+func (c *Cluster) coldestRackFor(t *Tenant, exclude int) int {
+	best, bestP := -1, 0.0
+	for i := range c.racks {
+		if i == exclude || !c.canServe(t, i) {
+			continue
+		}
+		p := c.pressure(i)
+		if best == -1 || p < bestP {
+			best, bestP = i, p
+		}
+	}
+	return best
+}
+
+// vnicConfig sizes tenant vNICs: enough TX buffering to ride out the
+// ~1us agent completion cadence at up to tenantCapGbps.
+func vnicConfig() core.VNICConfig {
+	return core.VNICConfig{
+		BufSize:      payloadBytes + 1024,
+		TxBuffers:    256,
+		RxBuffers:    8,
+		ChannelSlots: 512,
+	}
+}
+
+// place runs failure-domain-aware placement for one tenant: home rack
+// while pressure allows, otherwise spill to the coldest remote rack.
+// Non-federated clusters always place at home (and overload it — the
+// baseline the pooling-benefit sweep measures against).
+func (c *Cluster) place(t *Tenant) error {
+	target := t.Home
+	spilled := false
+	home := c.racks[t.Home]
+	if c.cfg.Federate {
+		homeOK := c.canServe(t, t.Home) &&
+			(c.offeredGbps(t.Home)+t.gbps)/home.capacityGbps <= c.cfg.PressureThreshold
+		if !homeOK {
+			if cold := c.coldestRackFor(t, t.Home); cold >= 0 {
+				target, spilled = cold, true
+			} else if !c.canServe(t, t.Home) {
+				// Nowhere to spill AND home cannot serve (draining or
+				// all devices failed): leave the tenant unplaced
+				// rather than pushing it into a rack whose control
+				// plane is down.
+				return fmt.Errorf("%w: no rack can serve %s", ErrDraining, t.Name)
+			}
+			// Home is pressured but serviceable and nothing colder
+			// exists: stay home, degraded.
+		}
+	} else if home.draining {
+		return fmt.Errorf("%w: %s (federation disabled)", ErrDraining, home.Name)
+	}
+	if err := c.bind(t, target); err != nil {
+		return err
+	}
+	if spilled {
+		c.placedSpill.Add(c.racks[target].Name, 1)
+	} else {
+		c.placedLocal.Add(c.racks[target].Name, 1)
+	}
+	return nil
+}
+
+// bind allocates the tenant's vNIC in a rack through that rack's
+// orchestrator.
+func (c *Cluster) bind(t *Tenant, rackIdx int) error {
+	rack := c.racks[rackIdx]
+	user, err := c.userFor(t, rack)
+	if err != nil {
+		return err
+	}
+	v, err := rack.Orch.Allocate(user, t.Name, vnicConfig())
+	if err != nil {
+		return fmt.Errorf("cluster: placing %s in %s: %w", t.Name, rack.Name, err)
+	}
+	t.vnic, t.user, t.rack = v, user, rackIdx
+	return nil
+}
+
+// migrate moves a tenant to rack dst: release in the source rack,
+// allocate in the destination, charge the spine.
+func (c *Cluster) migrate(t *Tenant, dst int) error {
+	src := t.rack
+	if src == dst {
+		return nil
+	}
+	if src >= 0 {
+		if err := c.racks[src].Orch.Release(t.Name); err != nil {
+			return err
+		}
+		t.vnic, t.user, t.rack = nil, nil, -1
+	}
+	if err := c.bind(t, dst); err != nil {
+		return err
+	}
+	if src >= 0 {
+		c.migratedOut.Add(c.racks[src].Name, 1)
+		c.MigrationTime.Record(float64(c.cfg.Fabric.MigrationCost(c.cfg.TenantState)))
+	}
+	return nil
+}
+
+// globalSweep is the between-epochs control loop: repatriate spilled
+// tenants whose home cooled down, then relieve pressured racks by
+// spilling their largest tenants to the coldest rack. Mirrors the
+// pod-level monitor sweep one level up, with the same anti-thrash
+// lesson: every move transfers exactly the moved tenant's demand, and
+// repatriation uses a hysteresis margin below the spill threshold.
+func (c *Cluster) globalSweep() (migrations, repatriations int, err error) {
+	if !c.cfg.Federate {
+		return 0, 0, nil
+	}
+	thr := c.cfg.PressureThreshold
+	// Repatriation first: it frees remote capacity for new spills.
+	for _, t := range c.tenants {
+		if t.rack < 0 || t.rack == t.Home || c.racks[t.Home].draining {
+			continue
+		}
+		// Hysteresis: come home only if home stays clearly below the
+		// spill threshold with the tenant's demand back.
+		if c.canServe(t, t.Home) &&
+			(c.offeredGbps(t.Home)+t.gbps)/c.racks[t.Home].capacityGbps <= thr*0.85 {
+			if err := c.migrate(t, t.Home); err != nil {
+				return migrations, repatriations, err
+			}
+			migrations++
+			repatriations++
+		}
+	}
+	// Pressure relief: bounded passes so a hopeless overload cannot
+	// loop forever.
+	for pass := 0; pass < len(c.tenants); pass++ {
+		hot, hotP := -1, 0.0
+		for i, r := range c.racks {
+			if r.draining {
+				continue
+			}
+			if p := c.pressure(i); p > hotP {
+				hot, hotP = i, p
+			}
+		}
+		if hot < 0 || hotP <= thr {
+			break
+		}
+		// Largest resident tenant whose move does not just swap the
+		// problem to the destination (each tenant's destination is its
+		// own coldest servable rack).
+		var pick *Tenant
+		pickDst := -1
+		for _, t := range c.tenants {
+			if t.rack != hot {
+				continue
+			}
+			dst := c.coldestRackFor(t, hot)
+			if dst < 0 {
+				continue
+			}
+			if (c.offeredGbps(dst)+t.gbps)/c.racks[dst].capacityGbps > thr {
+				continue
+			}
+			if pick == nil || t.gbps > pick.gbps {
+				pick, pickDst = t, dst
+			}
+		}
+		if pick == nil {
+			break // nothing movable without overloading a destination
+		}
+		if err := c.migrate(pick, pickDst); err != nil {
+			return migrations, repatriations, err
+		}
+		migrations++
+	}
+	return migrations, repatriations, nil
+}
+
+// DrainRack evacuates a whole failure domain for maintenance: every
+// resident tenant migrates to the coldest surviving rack, the rack's
+// orchestrator stops, and the rack stops taking placements. Returns
+// the relocated tenant count and the modeled drain cost (sequential
+// state streams over the spine).
+func (c *Cluster) DrainRack(idx int) (int, sim.Duration, error) {
+	if idx < 0 || idx >= len(c.racks) {
+		return 0, 0, fmt.Errorf("%w: %d", ErrUnknownRack, idx)
+	}
+	if !c.cfg.Federate {
+		return 0, 0, fmt.Errorf("%w: draining %s needs somewhere to put its tenants", ErrNotFederated, c.racks[idx].Name)
+	}
+	rack := c.racks[idx]
+	if rack.draining {
+		return 0, 0, fmt.Errorf("%w: %s", ErrDraining, rack.Name)
+	}
+	rack.draining = true
+	moved := 0
+	var cost sim.Duration
+	for _, t := range c.tenants {
+		if t.rack != idx {
+			continue
+		}
+		dst := c.coldestRackFor(t, idx)
+		if dst < 0 {
+			rack.draining = false
+			return moved, cost, fmt.Errorf("cluster: draining %s: no surviving rack", rack.Name)
+		}
+		if err := c.migrate(t, dst); err != nil {
+			rack.draining = false
+			return moved, cost, err
+		}
+		moved++
+		cost += c.cfg.Fabric.MigrationCost(c.cfg.TenantState)
+		c.drained.Add(rack.Name, 1)
+	}
+	rack.Orch.Stop()
+	return moved, cost, nil
+}
+
+// RunEpoch advances the whole cluster one epoch: update demand from
+// the skew schedule, run the global sweep, then simulate every rack's
+// traffic in parallel. Returns the epoch's stats.
+func (c *Cluster) RunEpoch() (EpochStats, error) {
+	e := c.epoch
+	st := EpochStats{
+		Epoch:         e,
+		HotRack:       c.cfg.Skew.HotRack(e),
+		OfferedGbps:   make([]float64, len(c.racks)),
+		DeliveredGbps: make([]float64, len(c.racks)),
+		Pressure:      make([]float64, len(c.racks)),
+		MeasuredLoad:  make([]float64, len(c.racks)),
+	}
+	// Demand update.
+	for _, t := range c.tenants {
+		t.gbps = t.BaseGbps * c.cfg.Skew.Factor(e, t.Home)
+		if t.gbps > tenantCapGbps {
+			t.gbps = tenantCapGbps
+		}
+	}
+	// Initial placement (epoch 0) and placement of any tenant a failed
+	// earlier sweep left unplaced.
+	for _, t := range c.tenants {
+		if t.rack >= 0 {
+			continue
+		}
+		if err := c.place(t); err != nil {
+			if !errors.Is(err, ErrDraining) {
+				// Drain-related unplacement is expected and counted;
+				// anything else (segment exhaustion, broken rack) is a
+				// real failure the caller must see.
+				return st, err
+			}
+			st.Unplaced++
+		}
+	}
+	mig, rep, err := c.globalSweep()
+	if err != nil {
+		return st, err
+	}
+	st.Migrations, st.Repatriations = mig, rep
+	for i := range c.racks {
+		st.Pressure[i] = c.pressure(i)
+	}
+	// Simulate every rack's epoch in parallel; racks share nothing, so
+	// the fan-out is free determinism-wise (golden-tested).
+	delivered0 := make([]uint64, len(c.racks))
+	offered0 := make([]uint64, len(c.racks))
+	for i, r := range c.racks {
+		delivered0[i] = r.deliveredBytes
+		for _, t := range c.tenants {
+			if t.rack == i {
+				offered0[i] += t.offeredBytes
+			}
+		}
+	}
+	if err := (runner.Pool{Workers: c.cfg.Workers}).ForEach(len(c.racks), func(i int) error {
+		return c.runRackEpoch(c.racks[i])
+	}); err != nil {
+		return st, err
+	}
+	secs := c.cfg.Epoch.Seconds()
+	for i, r := range c.racks {
+		var offered uint64
+		for _, t := range c.tenants {
+			if t.rack == i {
+				offered += t.offeredBytes
+			}
+		}
+		st.OfferedGbps[i] = float64(offered-offered0[i]) * 8 / secs / 1e9
+		st.DeliveredGbps[i] = float64(r.deliveredBytes-delivered0[i]) * 8 / secs / 1e9
+		st.MeasuredLoad[i], _ = r.Orch.MeanLoad()
+	}
+	c.epoch++
+	return st, nil
+}
+
+// tenantPump is one tenant's epoch traffic generator: a
+// self-rescheduling event that reuses a single closure for its whole
+// lifetime (one allocation per tenant-epoch, not one per packet — the
+// same pattern as the agent poll loop).
+type tenantPump struct {
+	r             *Rack
+	t             *Tenant
+	dst           string
+	interval, end sim.Time
+	at            sim.Time
+	fn            func()
+}
+
+func (p *tenantPump) fire() {
+	if p.at >= p.end {
+		return
+	}
+	p.t.offeredBytes += payloadBytes
+	// Tag the frame with the tenant ordinal so the sink can attribute
+	// delivery. The scratch is shared rack-wide, but Send copies it out
+	// synchronously, so tag+send is atomic within this event.
+	binary.LittleEndian.PutUint32(p.r.payload[:4], uint32(p.t.idx))
+	if _, err := p.t.vnic.Send(p.at, p.dst, p.r.payload); err == nil {
+		p.t.sentBytes += payloadBytes
+	}
+	p.at += p.interval
+	if p.at < p.end {
+		p.r.Pod.Engine.At(p.at, p.fn)
+	}
+}
+
+// runRackEpoch pumps every resident tenant's traffic and advances the
+// rack engine by one epoch. Runs on a worker goroutine; touches only
+// rack-local and resident-tenant state.
+func (c *Cluster) runRackEpoch(r *Rack) error {
+	start, end := r.clock, r.clock+c.cfg.Epoch
+	for _, t := range c.tenants {
+		if t.rack != r.index || t.gbps <= 0 {
+			continue
+		}
+		interval := sim.Duration(float64(payloadBytes*8) / t.gbps)
+		if interval < 1 {
+			interval = 1
+		}
+		p := &tenantPump{r: r, t: t, dst: r.sinkNICs[t.idx%len(r.sinkNICs)],
+			interval: interval, end: end, at: start}
+		p.fn = p.fire
+		r.Pod.Engine.At(start, p.fn)
+	}
+	if _, err := r.Pod.Engine.RunUntil(end); err != nil {
+		return err
+	}
+	r.clock = end
+	return nil
+}
+
+// Run executes n epochs and returns their stats.
+func (c *Cluster) Run(n int) ([]EpochStats, error) {
+	out := make([]EpochStats, 0, n)
+	for i := 0; i < n; i++ {
+		st, err := c.RunEpoch()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}

@@ -40,6 +40,10 @@ type Agent struct {
 	polls     uint64
 	forwarded uint64
 	completed uint64
+	// faults counts consumed-with-error polls: the payload was handled
+	// (the ring had advanced past it) but the receiver's cursor publish
+	// failed — see the PollInto contract.
+	faults uint64
 
 	// pollBuf is the agent's channel-payload scratch, reused across
 	// PollInto calls: descriptors are decoded (copied into fields)
@@ -70,6 +74,10 @@ func (a *Agent) Forwarded() uint64 { return a.forwarded }
 
 // Completed returns the number of completions delivered to applications.
 func (a *Agent) Completed() uint64 { return a.completed }
+
+// Faults returns the number of consumed-with-error polls (handled
+// payloads whose consumer-cursor publish failed).
+func (a *Agent) Faults() uint64 { return a.faults }
 
 // addService registers a channel with the agent and starts the poll
 // loop if needed.
@@ -123,6 +131,19 @@ func (a *Agent) sweep(t sim.Time) {
 		return
 	}
 	a.polls++
+	// Compact away services deactivated since the last sweep, so a
+	// long-lived host does not scan an ever-growing tail of dead
+	// entries (every vNIC rebind retires two). Compaction happens only
+	// here, between sweeps: handlers can deactivate services mid-drain
+	// (a remap executing on this very agent), and mutating the slice
+	// under the loop below would skip entries.
+	live := a.services[:0]
+	for _, s := range a.services {
+		if s.active {
+			live = append(live, s)
+		}
+	}
+	a.services = live
 	cur := t
 	for _, s := range a.services {
 		if !s.active {
@@ -149,6 +170,7 @@ func (a *Agent) drain(cur sim.Time, s *service) sim.Time {
 		// handled or it would be lost (the ring has advanced past it).
 		cur = s.handle(cur, payload)
 		if err != nil {
+			a.faults++
 			return cur
 		}
 	}

@@ -154,10 +154,18 @@ func (p *Pod) SharedAlloc(n int) (mem.Address, error) { return p.sharedAlloc.All
 func (p *Pod) SharedFree(a mem.Address) error { return p.sharedAlloc.Free(a) }
 
 // NewChannel carves a fresh SPSC channel out of the shared segment.
+// The carve is sanitized first: channel footprints are recycled when a
+// binding is torn down, and a new ring on stale memory would replay
+// the previous incarnation's slots as fresh messages.
 func (p *Pod) NewChannel(slots int) (*shm.Channel, error) {
-	addr, err := p.SharedAlloc(shm.Footprint(slots))
+	n := shm.Footprint(slots)
+	addr, err := p.SharedAlloc(n)
 	if err != nil {
 		return nil, fmt.Errorf("core: allocating channel: %w", err)
+	}
+	if err := p.CXL.Sanitize(addr, n); err != nil {
+		_ = p.SharedFree(addr)
+		return nil, fmt.Errorf("core: sanitizing channel: %w", err)
 	}
 	return shm.NewChannel(addr, slots)
 }

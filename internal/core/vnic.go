@@ -77,6 +77,7 @@ type VirtualNIC struct {
 
 	txFree  []mem.Address
 	rxAddrs []mem.Address // owned RX buffers (for cleanup/remap)
+	chAddrs []mem.Address // owned channel footprints (freed on unbind)
 
 	// descBuf is the descriptor staging scratch: every encode is
 	// consumed synchronously by a channel Send (which copies the bytes
@@ -162,10 +163,12 @@ func (v *VirtualNIC) Bind(owner *Host, physName string) (sim.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
+	v.chAddrs = append(v.chAddrs, txCh.Base())
 	compCh, err := pod.NewChannel(v.cfg.ChannelSlots)
 	if err != nil {
 		return 0, err
 	}
+	v.chAddrs = append(v.chAddrs, compCh.Base())
 	v.owner = owner
 	v.phys = phys
 	v.txSend = txCh.NewSender(v.user.cache)
@@ -217,9 +220,36 @@ func (v *VirtualNIC) unbind() {
 		_ = pod.SharedFree(a)
 	}
 	v.rxAddrs = v.rxAddrs[:0]
+	// Channels are torn down with the binding: in-flight descriptors
+	// are lost (as documented for Remap) and the deactivated services
+	// never touch the rings again, so the footprints return to the
+	// segment instead of leaking one channel pair per rebind.
+	for _, a := range v.chAddrs {
+		_ = pod.SharedFree(a)
+	}
+	v.chAddrs = v.chAddrs[:0]
 	v.owner = nil
 	v.phys = nil
 	v.txSend = nil
+}
+
+// Unbind detaches the virtual NIC from its physical device: channel
+// services deactivate and the shared-segment channel and I/O buffer
+// footprints are returned. The handle stays registered and can be
+// re-Bound later. Idempotent — a no-op when already unbound — and it
+// also reclaims whatever a partially failed Bind managed to allocate.
+func (v *VirtualNIC) Unbind() { v.unbind() }
+
+// Release unbinds the virtual NIC and removes it from the pod's device
+// registry. The handle is dead afterwards; callers that move a tenant
+// to another pod (cluster federation) release here and create a fresh
+// vNIC there. If a newer device already took over the name, the
+// registry entry is left alone.
+func (v *VirtualNIC) Release() {
+	v.Unbind()
+	if v.user.pod.vnics[v.name] == v {
+		delete(v.user.pod.vnics, v.name)
+	}
 }
 
 // Remap rebinds the device to a different physical NIC (failover or

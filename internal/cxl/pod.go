@@ -247,8 +247,7 @@ func (a *Attachment) Alloc(size int) (mem.Address, error) {
 	// the interleave translation so every stripe lands on the right
 	// device.
 	rounded := int(mem.AlignUp(mem.Address(size)))
-	zero := make([]byte, rounded)
-	if err := a.pod.sanitize(addr, zero); err != nil {
+	if err := a.pod.sanitize(addr, rounded); err != nil {
 		_ = a.pod.alloc.Free(addr)
 		return 0, err
 	}
@@ -264,23 +263,42 @@ func (a *Attachment) Alloc(size int) (mem.Address, error) {
 // AllocatedBytes returns the host's current dynamic-capacity usage.
 func (a *Attachment) AllocatedBytes() int { return a.allocTotal }
 
+// Sanitize zeroes the pool media behind [addr, addr+size) without
+// timing — the background controller operation run before capacity is
+// handed to a host. Exposed for control-plane reuse of shared-segment
+// carves: a channel built on recycled memory must not observe the
+// previous tenant's ring state (stale slot sequence numbers replay as
+// fresh messages).
+func (p *Pod) Sanitize(addr mem.Address, size int) error {
+	return p.sanitize(addr, size)
+}
+
+// zeroStripe is the shared scratch for sanitize writes: one interleave
+// stripe of zeroes, so sanitizing never allocates (two channel carves
+// per vNIC bind would otherwise heap a full footprint each).
+var zeroStripe [InterleaveGranularity]byte
+
 // sanitize zeroes pool media without timing (a background controller
 // operation completed before the capacity is handed to the host).
-func (p *Pod) sanitize(addr mem.Address, zero []byte) error {
+// Chunks are clipped to interleave-stripe boundaries: translate maps a
+// single address to one member, and a write crossing a stripe edge
+// would land the tail bytes on the wrong device-local addresses.
+func (p *Pod) sanitize(addr mem.Address, size int) error {
 	// Use any attachment's interleave translation; media is shared. If
 	// no host is attached yet the allocator cannot be reached either,
 	// so an attachment always exists here.
 	for _, h := range p.order {
 		a := p.hosts[h]
 		off := 0
-		for off < len(zero) {
-			n := len(zero) - off
-			if n > InterleaveGranularity {
-				n = InterleaveGranularity
+		for off < size {
+			cur := addr + mem.Address(off)
+			n := size - off
+			if stripeLeft := InterleaveGranularity - int(cur%InterleaveGranularity); n > stripeLeft {
+				n = stripeLeft
 			}
-			m, local := a.interleave.translate(addr + mem.Address(off))
+			m, local := a.interleave.translate(cur)
 			if pv, ok := m.(*PortView); ok {
-				if err := pv.Device().Media().Poke(local, zero[off:off+n]); err != nil {
+				if err := pv.Device().Media().Poke(local, zeroStripe[:n]); err != nil {
 					return err
 				}
 			}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cxlpool/internal/cluster"
+	"cxlpool/internal/metrics"
+	"cxlpool/internal/runner"
+	"cxlpool/internal/sim"
+	"cxlpool/internal/torless"
+	"cxlpool/internal/workload"
+)
+
+// ClusterFederation is E14: the paper's pooling argument taken to fleet
+// scale. A federated cluster of racks — each rack a fully simulated pod
+// with its own orchestrator — absorbs a rotating demand hotspot by
+// spilling tenants across the inter-rack fabric, survives a whole-rack
+// maintenance drain, and repatriates exiles when their home cools
+// down. The closing sweep reproduces the pooling-benefit curve at rack
+// granularity: hot-rack tenant goodput vs cluster size, isolated racks
+// against federation.
+func ClusterFederation(w io.Writer, seed int64) error {
+	return ClusterFederationN(w, seed, 4, 0)
+}
+
+// ClusterFederationN runs E14 at a chosen rack count (>= 2) and worker
+// bound. Output is byte-identical for any worker count.
+func ClusterFederationN(w io.Writer, seed int64, racks, workers int) error {
+	if racks < 2 {
+		return fmt.Errorf("experiments: cluster needs >= 2 racks, got %d", racks)
+	}
+	c, err := cluster.New(clusterConfig(seed, racks, true, workers))
+	if err != nil {
+		return err
+	}
+	cfg := c.Config() // effective config: fabric tiers defaulted
+	nDomains := len(c.Racks())
+	fmt.Fprintf(w, "E14: cluster federation — %d racks x %d hosts, %d tenants/rack, %gx rotating hotspot\n",
+		nDomains, cfg.HostsPerRack, cfg.TenantsPerRack, cfg.Skew.HotFactor)
+	fmt.Fprintf(w, "fabric: %v; %v; migration %v for %d MiB state\n",
+		cfg.Fabric.IntraRack, cfg.Fabric.InterRack,
+		cfg.Fabric.MigrationCost(cfg.TenantState), cfg.TenantState>>20)
+	fmt.Fprintln(w)
+
+	const epochs = 6
+	drainAt, drainRack := 3, 1
+	head := []string{"epoch", "hot", "xmig", "rep"}
+	for i := 0; i < nDomains; i++ {
+		head = append(head, fmt.Sprintf("rack%d off>del Gbps", i))
+	}
+	t := metrics.NewTable(head...)
+	var drainMoved int
+	var drainCost string
+	for e := 0; e < epochs; e++ {
+		if e == drainAt {
+			moved, cost, err := c.DrainRack(drainRack)
+			if err != nil {
+				return err
+			}
+			drainMoved, drainCost = moved, cost.String()
+		}
+		st, err := c.RunEpoch()
+		if err != nil {
+			return err
+		}
+		row := []string{
+			fmt.Sprintf("%d", st.Epoch),
+			fmt.Sprintf("rack%d", st.HotRack),
+			fmt.Sprintf("%d", st.Migrations),
+			fmt.Sprintf("%d", st.Repatriations),
+		}
+		for i := 0; i < nDomains; i++ {
+			cell := fmt.Sprintf("%3.0f>%3.0f (p=%.2f)", st.OfferedGbps[i], st.DeliveredGbps[i], st.Pressure[i])
+			if i == drainRack && e >= drainAt {
+				cell = "  drained"
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	fmt.Fprint(w, t.String())
+
+	local, spill, mig, _ := c.Counters()
+	fmt.Fprintf(w, "\nplacements: local=%d spill=%d | cross-rack migrations out: %s (total %d)\n",
+		local.Total(), spill.Total(), mig.String(), mig.Total())
+	fmt.Fprintf(w, "rack drain: rack%d at epoch %d — %d tenants relocated, %s of spine streaming\n",
+		drainRack, drainAt, drainMoved, drainCost)
+	if c.MigrationTime.Count() > 0 {
+		fmt.Fprintf(w, "migration cost: %v per move (n=%d)\n",
+			sim.Duration(c.MigrationTime.Percentile(50)), c.MigrationTime.Count())
+	}
+	fmt.Fprintf(w, "spilled-tenant penalty: +%v per op while remote\n", cfg.Fabric.RemotePenalty())
+	// Failure-domain reliability, from the §5 torless analysis of one
+	// rack's design (analytic closed forms).
+	rs, err := torless.Analyze(torless.Config{
+		PodSize:    cfg.HostsPerRack,
+		PooledNICs: cfg.HostsPerRack - 1,
+		Probs:      cfg.Fabric.Probs,
+		Trials:     1, // analytic columns only; skip the expensive MC
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range rs {
+		if r.Design == torless.ToRLess {
+			fmt.Fprintf(w, "failure domains: %d racks; per-rack outage (ToR-less pod, analytic) %.6f\n",
+				nDomains, r.RackOutageAnalytic)
+		}
+	}
+	fmt.Fprintln(w)
+
+	// Pooling-benefit curve: goodput of the tenants homed in whichever
+	// rack is hot, as the cluster grows. Isolated racks pin hot tenants
+	// to their overloaded home; federation gives them the fleet.
+	fmt.Fprintln(w, "pooling benefit at rack scale (hot-rack tenant goodput, 4 epochs):")
+	type point struct {
+		racks      int
+		local, fed float64
+	}
+	sizes := []int{2, 3, 4, 6, 8}
+	pts := make([]point, len(sizes))
+	for i, n := range sizes {
+		pts[i].racks = n
+	}
+	pool := runner.Pool{Workers: workers}
+	if err := pool.ForEach(len(sizes)*2, func(i int) error {
+		// Tasks 2k and 2k+1 share pts[k] but write disjoint fields.
+		n, federate := sizes[i/2], i%2 == 1
+		g, err := hotGoodput(seed, n, federate, 1)
+		if err != nil {
+			return err
+		}
+		if federate {
+			pts[i/2].fed = g
+		} else {
+			pts[i/2].local = g
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	bt := metrics.NewTable("racks", "isolated racks", "federated", "benefit")
+	for _, p := range pts {
+		bt.AddRow(fmt.Sprintf("%d", p.racks),
+			fmt.Sprintf("%.0f%%", p.local*100),
+			fmt.Sprintf("%.0f%%", p.fed*100),
+			fmt.Sprintf("%.2fx", p.fed/p.local))
+	}
+	fmt.Fprint(w, bt.String())
+	fmt.Fprintln(w, "(isolated racks strand remote slack exactly like unpooled PCIe devices strand NICs)")
+	return nil
+}
+
+// clusterConfig is the shared E14 shape: 200 Gbps racks (two pooled
+// 100G NICs each), six tenants per rack, 12x hotspot dwelling two
+// epochs per rack — hot-rack demand (~390 Gbps offered) overruns
+// one rack but fits the cluster.
+func clusterConfig(seed int64, racks int, federate bool, workers int) cluster.Config {
+	return cluster.Config{
+		Racks:          racks,
+		HostsPerRack:   3,
+		TenantsPerRack: 6,
+		Seed:           seed,
+		Federate:       federate,
+		Workers:        workers,
+		Skew:           workload.RackSkew{HotFactor: 12, Period: 2},
+	}
+}
+
+// hotGoodput runs a fresh cluster for `epochs` epochs and returns
+// delivered/offered for the tenants homed in the racks the hotspot
+// visits. Isolated racks queue hot traffic behind their two saturated
+// NICs; federation hands the excess to remote racks' idle devices.
+func hotGoodput(seed int64, racks int, federate bool, workers int) (float64, error) {
+	cfg := clusterConfig(seed, racks, federate, workers)
+	// Half-length epochs: the sweep needs ratios, not long steady
+	// state, and it runs ten clusters.
+	cfg.Epoch = sim.Millisecond
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	const epochs = 4
+	hotHomes := map[int]bool{}
+	sk := c.Config().Skew
+	for e := 0; e < epochs; e++ {
+		hotHomes[sk.HotRack(e)] = true
+	}
+	if _, err := c.Run(epochs); err != nil {
+		return 0, err
+	}
+	var offered, delivered uint64
+	for _, t := range c.Tenants() {
+		if hotHomes[t.Home] {
+			o, _ := t.Traffic()
+			offered += o
+			delivered += c.Delivered(t)
+		}
+	}
+	if offered == 0 {
+		return 0, fmt.Errorf("experiments: hot tenants offered no traffic")
+	}
+	return float64(delivered) / float64(offered), nil
+}

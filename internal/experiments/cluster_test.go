@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestClusterFederationOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-rack sweep in -short mode")
+	}
+	out := runExp(t, "cluster")
+	for _, needle := range []string{
+		"cluster federation", "inter-rack (spine)", "rack drain",
+		"cross-rack migrations", "pooling benefit", "federated",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("cluster output missing %q:\n%s", needle, out)
+		}
+	}
+	// The scenario must actually exercise the federation machinery.
+	if strings.Contains(out, "(total 0)") {
+		t.Errorf("no cross-rack migrations happened:\n%s", out)
+	}
+	if !strings.Contains(out, "drained") {
+		t.Errorf("rack drain not visible in the epoch table:\n%s", out)
+	}
+}
+
+// The cluster experiment must be byte-identical for any worker count —
+// the acceptance bar for federating on top of the parallel runner.
+func TestClusterFederationWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-rack sweep in -short mode")
+	}
+	render := func(workers int) string {
+		var buf bytes.Buffer
+		if err := ClusterFederationN(&buf, 42, 4, workers); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	seq := render(1)
+	if got := render(4); got != seq {
+		t.Fatalf("workers=4 output diverges from sequential:\nseq:\n%s\npar:\n%s", seq, got)
+	}
+}
+
+func TestClusterFederationValidation(t *testing.T) {
+	if err := ClusterFederationN(io.Discard, 1, 1, 0); err == nil {
+		t.Fatal("single-rack cluster accepted")
+	}
+}

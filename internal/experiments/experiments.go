@@ -59,6 +59,7 @@ func All() []Experiment {
 		{"pooled", "E11: local vs pooled NIC datapath RTT", PooledNIC},
 		{"storage", "E12: local vs CXL-pooled vs NVMe-oF storage", Storage},
 		{"figure2xl", "E13: stranding at 20k hosts (index-enabled scale-up)", Figure2XL},
+		{"cluster", "E14: multi-rack federation — pooling benefit at rack scale", ClusterFederation},
 	}
 }
 

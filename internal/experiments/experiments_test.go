@@ -22,7 +22,7 @@ func runExp(t *testing.T, name string) string {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"figure2", "sqrtn", "figure3", "figure4", "cost",
 		"lanes", "memlat", "failover", "ablate", "torless", "pooled", "storage",
-		"figure2xl"}
+		"figure2xl", "cluster"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(all), len(want))

@@ -270,6 +270,61 @@ func (c *Counter) RatePerSec(elapsedNs int64) float64 {
 	return float64(c.n) / (float64(elapsedNs) / 1e9)
 }
 
+// CounterSet is an ordered collection of named counters: per-rack
+// placements, cross-rack migrations, drain tallies in the cluster
+// layer. Names iterate in first-Add order, so rendering a set is
+// deterministic regardless of update order — the same property the
+// orchestrator's vnicOrder slice provides for assignment walks.
+type CounterSet struct {
+	names []string
+	vals  map[string]uint64
+}
+
+// NewCounterSet returns an empty set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{vals: make(map[string]uint64)}
+}
+
+// Add increments the named counter by d, creating it at zero first if
+// new (a zero d registers the name for rendering).
+func (s *CounterSet) Add(name string, d uint64) {
+	if _, ok := s.vals[name]; !ok {
+		s.names = append(s.names, name)
+	}
+	s.vals[name] += d
+}
+
+// Get returns the named counter's value (0 if never added).
+func (s *CounterSet) Get(name string) uint64 { return s.vals[name] }
+
+// Names returns the counter names in first-Add order.
+func (s *CounterSet) Names() []string {
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	return out
+}
+
+// Total sums every counter in the set.
+func (s *CounterSet) Total() uint64 {
+	var t uint64
+	for _, n := range s.names {
+		t += s.vals[n]
+	}
+	return t
+}
+
+// String renders "name=value" pairs in first-Add order.
+func (s *CounterSet) String() string {
+	var b strings.Builder
+	for i, n := range s.names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, s.vals[n])
+	}
+	return b.String()
+}
+
 // Table is a minimal fixed-width text table writer used by the benchmark
 // harness to print the paper's rows.
 type Table struct {

@@ -90,6 +90,11 @@ type device struct {
 	lastBytes uint64
 	lastSeen  sim.Time
 	handled   bool // failure already failed-over
+	// draining pins the device out of the pool for maintenance: the
+	// monitor sweep must not overwrite failed/handled from the device's
+	// (healthy) published record and readmit a host that is about to be
+	// hot-removed.
+	draining bool
 }
 
 // Orchestrator is the management-container control plane. It runs on a
@@ -129,6 +134,10 @@ type Orchestrator struct {
 
 	started bool
 	stopped bool
+	// gen invalidates control-loop events scheduled by earlier Start
+	// calls: a stop/restart cycle must not leave the old loops' queued
+	// events alive alongside the new ones (double cadence).
+	gen uint64
 
 	// Stats.
 	failovers  uint64
@@ -280,15 +289,21 @@ func recordPayload(n *nicsim.NIC, failedAt sim.Time) []byte {
 	return buf
 }
 
-// Start launches the agent publishers and the monitor loop.
+// Start launches the agent publishers and the monitor loop. A stopped
+// orchestrator may be started again (maintenance restart); control-loop
+// events left in the queue by the previous run are invalidated, so the
+// restarted loops run at single cadence.
 func (o *Orchestrator) Start() error {
-	if o.started {
+	if o.started && !o.stopped {
 		return errors.New("orch: already started")
 	}
 	if len(o.devices) == 0 {
 		return ErrNoDevices
 	}
 	o.started = true
+	o.stopped = false
+	o.gen++
+	gen := o.gen
 	engine := o.pod.Engine
 	// One publisher loop per owning host (the host's pooling agent).
 	// Hosts are walked in device-registration order, not map order: the
@@ -309,7 +324,7 @@ func (o *Orchestrator) Start() error {
 		devs := byHost[hn]
 		var publish func(t sim.Time)
 		publish = func(t sim.Time) {
-			if o.stopped {
+			if o.stopped || gen != o.gen {
 				return
 			}
 			cur := t
@@ -330,7 +345,7 @@ func (o *Orchestrator) Start() error {
 	// Monitor loop.
 	var sweep func(t sim.Time)
 	sweep = func(t sim.Time) {
-		if o.stopped {
+		if o.stopped || gen != o.gen {
 			return
 		}
 		end := o.monitorSweep(t)
@@ -340,8 +355,13 @@ func (o *Orchestrator) Start() error {
 	return nil
 }
 
-// Stop halts the control loops (pending events fire once more and
-// no-op).
+// Stop halts the control loops. Monitor and publisher events already in
+// the sim queue fire once more and no-op: no sweep, no failover, no
+// rebalance migration initiates after Stop returns. Remap commands the
+// orchestrator issued before the stop may still complete on the user
+// hosts' agents (the command is already in a channel); their acks are
+// processed so the assignment map stays truthful. Start may be called
+// again to resume.
 func (o *Orchestrator) Stop() { o.stopped = true }
 
 // monitorSweep reads every record, updates load estimates, triggers
@@ -354,6 +374,12 @@ func (o *Orchestrator) monitorSweep(t sim.Time) sim.Time {
 		body, rd, err := d.record.Read(cur, o.home.Cache(), 0)
 		cur += rd
 		if err != nil {
+			continue
+		}
+		if d.draining {
+			// Maintenance marks outrank the record: the agent still
+			// publishes "healthy" for a draining host's devices, and
+			// acting on it would readmit them to the pick set.
 			continue
 		}
 		txBytes := binary.LittleEndian.Uint64(body[0:8])
@@ -391,6 +417,9 @@ func (o *Orchestrator) monitorSweep(t sim.Time) sim.Time {
 // through the shared-memory control plane. Completion (assignment
 // update, downtime recording) happens when the user host's agent acks.
 func (o *Orchestrator) failover(now sim.Time, failedDev *device) sim.Time {
+	if o.stopped {
+		return now
+	}
 	failedDev.handled = true
 	cur := now
 	for _, vname := range o.vnicOrder {
@@ -429,7 +458,7 @@ func (o *Orchestrator) doMigrate(now sim.Time, v *core.VirtualNIC, dev *device) 
 // excluding `exclude` and failed devices.
 func (o *Orchestrator) pick(user *core.Host, exclude string) (*device, error) {
 	usable := func(d *device) bool {
-		return d.name != exclude && !d.failed && !d.nic.Failed()
+		return d.name != exclude && !d.failed && !d.draining && !d.nic.Failed()
 	}
 	switch o.policy {
 	case RoundRobin:
@@ -488,6 +517,9 @@ func (o *Orchestrator) Allocate(user *core.Host, vnicName string, cfg core.VNICC
 	}
 	v := core.NewVirtualNIC(user, vnicName, cfg)
 	if _, err := v.Bind(d.owner, d.name); err != nil {
+		// Same atomicity as Harvest: reclaim whatever the failed bind
+		// allocated and leave no registry entry behind.
+		v.Release()
 		return nil, err
 	}
 	o.vnics[vnicName] = v
@@ -513,11 +545,70 @@ func (o *Orchestrator) Migrate(vnicName, devName string) error {
 	return nil
 }
 
+// Release tears a vNIC down and forgets it: buffers freed, assignment
+// and registry entries removed, pending remaps dropped. This is the
+// outbound half of a cross-rack migration — the cluster layer releases
+// the vNIC here and allocates a fresh one in the destination rack.
+func (o *Orchestrator) Release(vnicName string) error {
+	v, ok := o.vnics[vnicName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownVNIC, vnicName)
+	}
+	v.Release()
+	delete(o.vnics, vnicName)
+	delete(o.assign, vnicName)
+	delete(o.pendingRemap, vnicName)
+	for i, n := range o.vnicOrder {
+		if n == vnicName {
+			o.vnicOrder = append(o.vnicOrder[:i], o.vnicOrder[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// PickDevice runs the allocation policy and returns the name of the
+// device it would choose for user (excluding `exclude` and failed
+// devices), without allocating anything. Exposed for composition: the
+// cluster layer asks each rack's orchestrator what it would pick when
+// weighing local placement against a cross-rack spill.
+func (o *Orchestrator) PickDevice(user *core.Host, exclude string) (string, error) {
+	d, err := o.pick(user, exclude)
+	if err != nil {
+		return "", err
+	}
+	return d.name, nil
+}
+
+// MeanLoad returns the mean monitored load across non-failed devices
+// (0 when every device is failed/drained) and the count of usable
+// devices. The cluster layer uses it as the rack pressure signal.
+func (o *Orchestrator) MeanLoad() (float64, int) {
+	var sum float64
+	n := 0
+	for _, name := range o.order {
+		d := o.devices[name]
+		if d.failed || d.nic.Failed() {
+			continue
+		}
+		sum += d.load
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}
+
 // Harvest allocates up to n virtual NICs for one host, each backed by
 // a DISTINCT physical device — the §1 "peak performance" use case:
 // "during demand spikes, a host can harvest all the PCIe devices in
 // the pool to achieve higher aggregated performance." Returns the
 // handles; fewer than n if the pool is smaller.
+//
+// Harvest is atomic: if any bind fails, every vNIC this call already
+// bound is released (buffers freed, bookkeeping removed) and the error
+// is returned with a nil slice — a partial harvest never leaks.
 func (o *Orchestrator) Harvest(user *core.Host, namePrefix string, n int, cfg core.VNICConfig) ([]*core.VirtualNIC, error) {
 	if n <= 0 {
 		return nil, errors.New("orch: harvest count must be positive")
@@ -538,7 +629,14 @@ func (o *Orchestrator) Harvest(user *core.Host, namePrefix string, n int, cfg co
 		vname := fmt.Sprintf("%s-%d", namePrefix, len(out))
 		v := core.NewVirtualNIC(user, vname, cfg)
 		if _, err := v.Bind(d.owner, d.name); err != nil {
-			return out, err
+			v.Release() // frees whatever the failed bind allocated
+			for _, prev := range out {
+				delete(o.vnics, prev.Name())
+				delete(o.assign, prev.Name())
+				prev.Release()
+			}
+			o.vnicOrder = o.vnicOrder[:len(o.vnicOrder)-len(out)]
+			return nil, fmt.Errorf("orch: harvest %s: %w", vname, err)
 		}
 		o.vnics[vname] = v
 		o.assign[vname] = d.name
@@ -555,6 +653,9 @@ func (o *Orchestrator) Harvest(user *core.Host, namePrefix string, n int, cfg co
 // rebalance moves one vNIC from the most- to the least-loaded device
 // when the gap exceeds RebalanceGap (§4.2 load balancing).
 func (o *Orchestrator) rebalance(now sim.Time) sim.Time {
+	if o.stopped {
+		return now
+	}
 	var hot, cold *device
 	for _, name := range o.order {
 		d := o.devices[name]
@@ -571,6 +672,17 @@ func (o *Orchestrator) rebalance(now sim.Time) sim.Time {
 	if hot == nil || cold == nil || hot == cold || hot.load-cold.load < o.RebalanceGap {
 		return now
 	}
+	// The moved flow takes its estimated share of the hot device's load
+	// with it: 1/n of the load for n resident vNICs (per-flow load is
+	// not tracked). Transferring the whole load — or swapping the pair —
+	// would invert hot and cold and make the next sweep migrate a vNIC
+	// straight back (ping-pong thrash).
+	nHot := 0
+	for _, vname := range o.vnicOrder {
+		if o.assign[vname] == hot.name {
+			nHot++
+		}
+	}
 	// Move one vNIC off the hot device.
 	for _, vname := range o.vnicOrder {
 		if o.assign[vname] != hot.name {
@@ -580,8 +692,9 @@ func (o *Orchestrator) rebalance(now sim.Time) sim.Time {
 		d := o.doMigrate(now, v, cold)
 		if d > 0 {
 			o.migrations++
-			// Avoid thrashing: assume the moved flow's load follows it.
-			cold.load, hot.load = hot.load, cold.load
+			share := hot.load / float64(nHot)
+			hot.load -= share
+			cold.load += share
 			return now + d
 		}
 	}
@@ -590,10 +703,40 @@ func (o *Orchestrator) rebalance(now sim.Time) sim.Time {
 
 // DrainHost migrates every assignment away from a host's devices (for
 // maintenance hot-remove, §5) and returns the migrated vNIC count.
+//
+// The drain is mark-first: the host's devices leave the pick set before
+// any migration runs, so allocations, failovers, or rebalances
+// triggered mid-drain can never land on the draining host. If any
+// migration fails, the marks are rolled back and an error is returned;
+// vNICs already moved stay on their (healthy) replacements, and the
+// host remains undrained and fully usable.
 func (o *Orchestrator) DrainHost(host string) (int, error) {
 	h, err := o.pod.Host(host)
 	if err != nil {
 		return 0, err
+	}
+	type mark struct {
+		d                         *device
+		failed, handled, draining bool
+	}
+	var marks []mark
+	for _, name := range o.order {
+		d := o.devices[name]
+		if d.owner == h {
+			marks = append(marks, mark{d, d.failed, d.handled, d.draining})
+			d.failed = true
+			d.handled = true
+			// The draining pin survives monitor sweeps (which would
+			// otherwise overwrite failed/handled from the healthy
+			// record); it lifts only via rollback or DetachHost plus
+			// re-registration.
+			d.draining = true
+		}
+	}
+	rollback := func() {
+		for _, m := range marks {
+			m.d.failed, m.d.handled, m.d.draining = m.failed, m.handled, m.draining
+		}
 	}
 	moved := 0
 	now := o.pod.Engine.Now()
@@ -603,40 +746,19 @@ func (o *Orchestrator) DrainHost(host string) (int, error) {
 			continue
 		}
 		v := o.vnics[vname]
-		repl, err := o.pickExcludingHost(v.User(), h)
+		// The draining host's devices are marked failed, so the regular
+		// policy pick already excludes them.
+		repl, err := o.pick(v.User(), "")
 		if err != nil {
+			rollback()
 			return moved, fmt.Errorf("orch: draining %s: %w", host, err)
 		}
-		if dd := o.doMigrate(now, v, repl); dd > 0 {
-			moved++
-			o.migrations++
+		if o.doMigrate(now, v, repl) == 0 {
+			rollback()
+			return moved, fmt.Errorf("orch: draining %s: migrating %q to %q failed", host, vname, repl.name)
 		}
-	}
-	// Mark the host's devices unusable for future picks.
-	for _, name := range o.order {
-		d := o.devices[name]
-		if d.owner == h {
-			d.failed = true
-			d.handled = true
-		}
+		moved++
+		o.migrations++
 	}
 	return moved, nil
-}
-
-// pickExcludingHost picks a device not owned by h.
-func (o *Orchestrator) pickExcludingHost(user *core.Host, h *core.Host) (*device, error) {
-	var best *device
-	for _, name := range o.order {
-		d := o.devices[name]
-		if d.owner == h || d.failed || d.nic.Failed() {
-			continue
-		}
-		if best == nil || d.load < best.load {
-			best = d
-		}
-	}
-	if best == nil {
-		return nil, ErrNoDevices
-	}
-	return best, nil
 }

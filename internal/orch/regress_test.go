@@ -1,0 +1,234 @@
+package orch
+
+import (
+	"errors"
+	"testing"
+
+	"cxlpool/internal/core"
+	"cxlpool/internal/sim"
+)
+
+// DrainHost must not mark a host's devices failed when a migration off
+// them did not actually happen: pre-fix, a Remap failure inside
+// doMigrate was swallowed (moved just not incremented), the device was
+// marked failed anyway, and the vNIC was stranded on a "failed" device
+// with handled=true — invisible to failover forever.
+func TestDrainHostRollsBackOnFailedMigration(t *testing.T) {
+	p, o := rig(t, 2, 1, LeastUtilized)
+	h0, _ := p.Host("host0")
+	if _, err := o.Allocate(h0, "v0", core.VNICConfig{BufSize: 256}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Migrate("v0", "host1-nic0"); err != nil {
+		t.Fatal(err)
+	}
+	// Make the migration target unbindable: fill the rest of
+	// host0-nic0's RX ring (depth 1024, minus buffers earlier bindings
+	// already posted) so the replacement binding fails its posting.
+	nic0, err := h0.NIC("host0-nic0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocker := core.NewVirtualNIC(h0, "blocker", core.VNICConfig{
+		BufSize: 256, RxBuffers: 1024 - nic0.RxRingLen(),
+	})
+	if _, err := blocker.Bind(h0, "host0-nic0"); err != nil {
+		t.Fatal(err)
+	}
+	moved, err := o.DrainHost("host1")
+	if err == nil {
+		t.Fatal("DrainHost reported success though the migration failed")
+	}
+	if moved != 0 {
+		t.Fatalf("moved = %d, want 0", moved)
+	}
+	// The drain failed and rolled back: host1's device must NOT be
+	// marked failed (that would strand v0 on a device failover ignores).
+	d := o.devices["host1-nic0"]
+	if d.failed || d.handled {
+		t.Fatalf("drained-host device marked failed=%v handled=%v after rolled-back drain",
+			d.failed, d.handled)
+	}
+	if dev, _ := o.Assignment("v0"); dev != "host1-nic0" {
+		t.Fatalf("assignment = %q, want host1-nic0 (migration failed)", dev)
+	}
+}
+
+// An aborted drain must leave the host's devices pickable again
+// (rollback), and a completed drain must have excluded them from picks
+// from the first migration on (mark-first). Pre-fix, the early error
+// return left devices unmarked AND a later success marked them only
+// after all migrations, so concurrent picks mid-drain could land new
+// vNICs on the draining host.
+func TestDrainHostMarksBeforeMigrating(t *testing.T) {
+	p, o := rig(t, 3, 1, LeastUtilized)
+	h0, _ := p.Host("host0")
+	if _, err := o.Allocate(h0, "v0", core.VNICConfig{BufSize: 256}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Migrate("v0", "host1-nic0"); err != nil {
+		t.Fatal(err)
+	}
+	// Successful drain: devices marked, vNIC moved.
+	moved, err := o.DrainHost("host1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 1 {
+		t.Fatalf("moved = %d", moved)
+	}
+	if !o.devices["host1-nic0"].failed {
+		t.Fatal("drained device not excluded from future picks")
+	}
+	// A replacement pick during the drain must never have chosen the
+	// draining host: v0's new device is not on host1.
+	dev, _ := o.Assignment("v0")
+	if dev == "host1-nic0" {
+		t.Fatal("vNIC still on drained host")
+	}
+}
+
+// A drain must survive the monitor loop: the drained host's agent
+// still publishes healthy records for its devices, and an unpinned
+// sweep would overwrite the drain marks and readmit the host to the
+// pick set right before its hot-remove.
+func TestDrainMarksSurviveMonitorSweeps(t *testing.T) {
+	p, o := rig(t, 3, 1, LeastUtilized)
+	h0, _ := p.Host("host0")
+	if _, err := o.Allocate(h0, "v0", core.VNICConfig{BufSize: 256}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Migrate("v0", "host1-nic0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var drainErr error
+	p.Engine.At(2*sim.Millisecond, func() {
+		_, drainErr = o.DrainHost("host1")
+	})
+	// Many publish/monitor cycles after the drain.
+	if _, err := p.Engine.RunUntil(10 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if drainErr != nil {
+		t.Fatal(drainErr)
+	}
+	d := o.devices["host1-nic0"]
+	if !d.failed || !d.handled {
+		t.Fatalf("monitor sweep readmitted the drained device (failed=%v handled=%v)",
+			d.failed, d.handled)
+	}
+	v, err := o.Allocate(h0, "late", core.VNICConfig{BufSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Owner().Name() == "host1" {
+		t.Fatal("post-drain allocation landed on the drained host")
+	}
+	if dev, _ := o.Assignment("v0"); dev == "host1-nic0" {
+		t.Fatal("vNIC moved back onto the drained host")
+	}
+}
+
+// rebalance must transfer only the moved vNIC's estimated load share,
+// not swap the hot and cold devices' entire loads: pre-fix the swap
+// inverted the pair, so the very next sweep migrated a vNIC straight
+// back (ping-pong thrash).
+func TestRebalanceDoesNotThrash(t *testing.T) {
+	p, o := rig(t, 2, 1, LeastUtilized)
+	h0, _ := p.Host("host0")
+	for _, name := range []string{"a", "b"} {
+		if _, err := o.Allocate(h0, name, core.VNICConfig{BufSize: 256}); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Migrate(name, "host0-nic0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, migAfterSetup, _ := o.Stats()
+	hot := o.devices["host0-nic0"]
+	cold := o.devices["host1-nic0"]
+	hot.load, cold.load = 0.8, 0.1
+	now := p.Engine.Now()
+
+	// First sweep: gap 0.7 > RebalanceGap, one vNIC moves off the hot
+	// device, taking its estimated share (0.8/2 = 0.4) with it.
+	o.rebalance(now)
+	_, mig1, _ := o.Stats()
+	if mig1-migAfterSetup != 1 {
+		t.Fatalf("first rebalance migrated %d vNICs, want 1", mig1-migAfterSetup)
+	}
+	movedDev, _ := o.Assignment("a")
+	if movedDev != "host1-nic0" {
+		t.Fatalf("rebalance moved %q off the hot device, want a -> host1-nic0", movedDev)
+	}
+	if hot.load >= 0.8 || cold.load <= 0.1 {
+		t.Fatalf("loads not adjusted: hot=%.2f cold=%.2f", hot.load, cold.load)
+	}
+	// Only the moved vNIC's share (0.4) may have transferred. A residual
+	// gap at or above RebalanceGap in the reverse direction means the
+	// loads were swapped wholesale and the next sweep will thrash.
+	if cold.load-hot.load >= o.RebalanceGap {
+		t.Fatalf("load inverted after one migration: hot=%.2f cold=%.2f (full swap bug)",
+			hot.load, cold.load)
+	}
+
+	// Second sweep: remaining gap is 0.1 < RebalanceGap — nothing may
+	// move. Pre-fix the swapped loads showed a 0.7 gap in the other
+	// direction and migrated a vNIC right back.
+	o.rebalance(p.Engine.Now())
+	_, mig2, _ := o.Stats()
+	if mig2 != mig1 {
+		t.Fatalf("second rebalance migrated again (%d -> %d): ping-pong thrash", mig1, mig2)
+	}
+	if dev, _ := o.Assignment("a"); dev != "host1-nic0" {
+		t.Fatalf("vNIC a bounced back to %q", dev)
+	}
+}
+
+// Harvest must be atomic: a Bind failure mid-harvest may not leak the
+// already-bound vNICs into the orchestrator's books (pre-fix it
+// returned a partial slice alongside the error, with the partial set
+// still registered, assigned, and holding shared-segment buffers).
+func TestHarvestUnwindsOnPartialBindFailure(t *testing.T) {
+	// Size the shared segment so the first jumbo vNIC binds and the
+	// second fails mid-bind: each needs ~8.4 MB (128 x 64 KiB buffers
+	// plus two channels) out of the default 16 MiB segment.
+	p, err := core.NewPod(core.Config{
+		Hosts:             3,
+		NICsPerHost:       1,
+		Seed:              13,
+		AgentPollInterval: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(p, "host0", LeastUtilized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	h0, _ := p.Host("host0")
+	cfg := core.VNICConfig{BufSize: 64 << 10, TxBuffers: 64, RxBuffers: 64}
+	vs, err := o.Harvest(h0, "hv", 3, cfg)
+	if err == nil {
+		t.Fatal("harvest succeeded; want mid-bind failure for this segment size")
+	}
+	if vs != nil {
+		t.Fatalf("harvest returned %d vNICs alongside the error; want nil (atomic)", len(vs))
+	}
+	// No bookkeeping leak: the partially harvested names are unknown.
+	if _, err := o.Assignment("hv-0"); !errors.Is(err, ErrUnknownVNIC) {
+		t.Fatalf("leaked assignment for hv-0: %v", err)
+	}
+	// The unwound buffers are actually freed: a fresh jumbo vNIC (same
+	// ~8.4 MB footprint) fits again. Pre-fix, hv-0's buffers plus hv-1's
+	// partial bind kept the segment exhausted.
+	if _, err := o.Allocate(h0, "after", cfg); err != nil {
+		t.Fatalf("shared segment still exhausted after failed harvest: %v", err)
+	}
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"testing"
+
+	"cxlpool/internal/sim"
+)
+
+func TestTenantDemandMix(t *testing.T) {
+	d, err := NewTenantDemand(nil, nil, sim.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, freqs := DefaultTenantLevels()
+	want := map[float64]bool{}
+	for _, l := range levels {
+		want[l] = true
+	}
+	counts := map[float64]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		g := d.Next()
+		if !want[g] {
+			t.Fatalf("sampled demand %g not in the mix", g)
+		}
+		counts[g]++
+	}
+	// Empirical frequencies track the mix within a loose tolerance.
+	for i, l := range levels {
+		got := float64(counts[l]) / n
+		if got < freqs[i]*0.8-0.01 || got > freqs[i]*1.2+0.01 {
+			t.Fatalf("level %g Gbps drawn %.3f of the time, want ~%.3f", l, got, freqs[i])
+		}
+	}
+	// Same seed, same stream.
+	a, _ := NewTenantDemand(nil, nil, sim.NewRand(42))
+	b, _ := NewTenantDemand(nil, nil, sim.NewRand(42))
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("tenant demand sampling not deterministic per seed")
+		}
+	}
+}
+
+func TestTenantDemandValidation(t *testing.T) {
+	if _, err := NewTenantDemand([]float64{1}, []float64{0.5}, sim.NewRand(1)); err == nil {
+		t.Fatal("frequencies summing to 0.5 accepted")
+	}
+	if _, err := NewTenantDemand([]float64{1, 2}, []float64{1}, sim.NewRand(1)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewTenantDemand([]float64{1, 2}, []float64{1.5, -0.5}, sim.NewRand(1)); err == nil {
+		t.Fatal("negative frequency accepted")
+	}
+}
+
+func TestRackSkewRotatesThroughAllRacks(t *testing.T) {
+	s := RackSkew{Racks: 4, HotFactor: 6, Period: 2}
+	seen := map[int]bool{}
+	prevHot := -1
+	for e := 0; e < 8; e++ {
+		hot := s.HotRack(e)
+		if hot < 0 || hot >= s.Racks {
+			t.Fatalf("epoch %d: hot rack %d out of range", e, hot)
+		}
+		seen[hot] = true
+		// Dwell: two consecutive epochs share a hotspot.
+		if e%2 == 1 && hot != prevHot {
+			t.Fatalf("epoch %d: hotspot moved mid-period (%d -> %d)", e, prevHot, hot)
+		}
+		prevHot = hot
+		for r := 0; r < s.Racks; r++ {
+			f := s.Factor(e, r)
+			if r == hot && f != 6 {
+				t.Fatalf("epoch %d rack %d: hot factor = %g", e, r, f)
+			}
+			if r != hot && f != 1 {
+				t.Fatalf("epoch %d rack %d: cold factor = %g", e, r, f)
+			}
+		}
+	}
+	if len(seen) != s.Racks {
+		t.Fatalf("hotspot visited %d/%d racks over a full cycle", len(seen), s.Racks)
+	}
+}
+
+func TestRackSkewDefaults(t *testing.T) {
+	s := RackSkew{Racks: 3}
+	if f := s.Factor(0, s.HotRack(0)); f != 5 {
+		t.Fatalf("default hot factor = %g, want 5", f)
+	}
+	if hot := s.HotRack(2); hot != 1 {
+		t.Fatalf("default period: epoch 2 hot rack = %d, want 1", hot)
+	}
+}

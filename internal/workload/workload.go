@@ -172,3 +172,97 @@ func (m *PacketMix) Next() int {
 	}
 	return m.Sizes[len(m.Sizes)-1]
 }
+
+// TenantDemand samples baseline NIC demand (Gbps) for pooled-device
+// tenants: light services dominate, with elephants in the tail. It is
+// the per-tenant analogue of the VM mix — tuned so a handful of
+// tenants per rack sits comfortably inside one rack's NIC capacity
+// until a hotspot multiplies it.
+type TenantDemand struct {
+	levels []float64
+	freqs  []float64
+	cdf    []float64
+	rng    *sim.Rand
+}
+
+// DefaultTenantLevels is the baseline demand mix: (Gbps, frequency).
+func DefaultTenantLevels() ([]float64, []float64) {
+	return []float64{2, 5, 10, 20, 40}, []float64{0.35, 0.30, 0.20, 0.10, 0.05}
+}
+
+// NewTenantDemand builds a sampler over (Gbps, frequency) pairs; nil
+// slices select the default mix.
+func NewTenantDemand(levels, freqs []float64, rng *sim.Rand) (*TenantDemand, error) {
+	if levels == nil && freqs == nil {
+		levels, freqs = DefaultTenantLevels()
+	}
+	if len(levels) == 0 || len(levels) != len(freqs) {
+		return nil, fmt.Errorf("workload: demand levels/freqs mismatch")
+	}
+	cdf := make([]float64, len(freqs))
+	sum := 0.0
+	for i, f := range freqs {
+		if f < 0 {
+			return nil, fmt.Errorf("workload: negative demand frequency")
+		}
+		sum += f
+		cdf[i] = sum
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return nil, fmt.Errorf("workload: demand frequencies sum to %g, want 1", sum)
+	}
+	return &TenantDemand{levels: levels, freqs: freqs, cdf: cdf, rng: rng}, nil
+}
+
+// Next draws one tenant's baseline demand in Gbps.
+func (t *TenantDemand) Next() float64 {
+	u := t.rng.Float64()
+	for i, c := range t.cdf {
+		if u <= c {
+			return t.levels[i]
+		}
+	}
+	return t.levels[len(t.levels)-1]
+}
+
+// RackSkew is the rotating-hotspot demand schedule for multi-rack
+// experiments: in every epoch exactly one rack is "hot" and tenants
+// homed there demand HotFactor× their baseline, while every other
+// rack idles at baseline. The hotspot walks the racks round-robin,
+// dwelling Period epochs on each — the skewed, time-varying tenant
+// traffic that makes cross-rack spilling pay off (a static skew would
+// reward a one-time placement instead of a control plane).
+type RackSkew struct {
+	// Racks in the cluster (must be > 0 for HotRack to rotate).
+	Racks int
+	// HotFactor multiplies hot-rack tenant demand (default 5).
+	HotFactor float64
+	// Period is epochs of hotspot residence per rack (default 2).
+	Period int
+}
+
+func (s RackSkew) period() int {
+	if s.Period <= 0 {
+		return 2
+	}
+	return s.Period
+}
+
+// HotRack returns the hot rack index for an epoch.
+func (s RackSkew) HotRack(epoch int) int {
+	if s.Racks <= 0 {
+		return 0
+	}
+	return (epoch / s.period()) % s.Racks
+}
+
+// Factor returns the demand multiplier for a rack in an epoch.
+func (s RackSkew) Factor(epoch, rack int) float64 {
+	if rack != s.HotRack(epoch) {
+		return 1
+	}
+	if s.HotFactor <= 0 {
+		return 5
+	}
+	return s.HotFactor
+}
