@@ -106,7 +106,7 @@ func BenchmarkFigure4PingPong(b *testing.B) {
 // BenchmarkCostModel regenerates the §1/§3 rack economics comparison.
 func BenchmarkCostModel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Cost(io.Discard, int64(i)); err != nil {
+		if err := experiments.RunText(io.Discard, "cost", int64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -115,7 +115,7 @@ func BenchmarkCostModel(b *testing.B) {
 // BenchmarkLanePlanner regenerates the §5 lane-requirement table.
 func BenchmarkLanePlanner(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Lanes(io.Discard, int64(i)); err != nil {
+		if err := experiments.RunText(io.Discard, "lanes", int64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -125,7 +125,7 @@ func BenchmarkLanePlanner(b *testing.B) {
 // direct CXL / switched CXL).
 func BenchmarkMemoryLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.MemLatency(io.Discard, int64(i)); err != nil {
+		if err := experiments.RunText(io.Discard, "memlat", int64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -271,7 +271,7 @@ func BenchmarkClusterFederation(b *testing.B) {
 // NVMe-oF 4K read latency on two media profiles.
 func BenchmarkStorageComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Storage(io.Discard, int64(i)); err != nil {
+		if err := experiments.RunText(io.Discard, "storage", int64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -281,7 +281,7 @@ func BenchmarkStorageComparison(b *testing.B) {
 // through a local vs pooled NIC.
 func BenchmarkPooledNICDatapath(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.PooledNIC(io.Discard, int64(i)); err != nil {
+		if err := experiments.RunText(io.Discard, "pooled", int64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,39 @@
+// Command schemacheck validates a JSON document read from stdin
+// against a JSON Schema file (the subset internal/report.ValidateJSON
+// supports). CI uses it to pin the `cxlpool all -format json` wire
+// format to schema/report.schema.json:
+//
+//	go run ./cmd/cxlpool all -format json | go run ./cmd/schemacheck schema/report.schema.json
+//
+// Exit status: 0 valid, 1 invalid or unreadable input, 2 usage.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"cxlpool/internal/report"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: schemacheck <schema.json> < document.json")
+		os.Exit(2)
+	}
+	schema, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schemacheck: %v\n", err)
+		os.Exit(1)
+	}
+	doc, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schemacheck: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if err := report.ValidateJSON(schema, doc); err != nil {
+		fmt.Fprintf(os.Stderr, "schemacheck: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("schemacheck: ok (%d bytes against %s)\n", len(doc), os.Args[1])
+}

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	// Part 1: the reliability table (Monte-Carlo + closed form).
-	if err := experiments.ToRless(os.Stdout, 42); err != nil {
+	if err := experiments.RunText(os.Stdout, "torless", 42); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println()

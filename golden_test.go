@@ -1,0 +1,45 @@
+package cxlpool
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cxlpool/internal/experiments"
+)
+
+// TestRunAllMatchesGolden pins the exact bytes of `cxlpool all -seed
+// 42` to the checked-in golden captured before the Scenario API
+// redesign. The structured-report renderer must reproduce the
+// hand-written output of every experiment byte for byte; a diff here
+// means a renderer or conversion regression, not a tuning change. If
+// an experiment's output changes on purpose, regenerate with:
+//
+//	go run ./cmd/cxlpool all -workers 1 -seed 42 > testdata/all_seed42.golden
+func TestRunAllMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in -short mode")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "all_seed42.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := experiments.RunAll(&got, 42, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		a, b := want, got.Bytes()
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		lo := i - 120
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("output diverges from golden at byte %d:\ngolden: %q\ngot:    %q",
+			i, a[lo:min(i+120, len(a))], b[lo:min(i+120, len(b))])
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"cxlpool/internal/core"
 	"cxlpool/internal/metrics"
 	"cxlpool/internal/orch"
+	"cxlpool/internal/params"
 	"cxlpool/internal/runner"
 	"cxlpool/internal/sim"
 	"cxlpool/internal/workload"
@@ -121,6 +122,30 @@ func (c Config) withDefaults() Config {
 	c.Fabric = c.Fabric.defaults()
 	c.Skew.Racks = c.Racks
 	return c
+}
+
+// ParamSpecs declares the federation experiment's tunable surface for
+// the Scenario API: CLI flags, usage text, and sweep axes are all
+// generated from these declarations.
+func ParamSpecs() []params.Spec {
+	return []params.Spec{
+		{Name: "racks", Kind: params.Int, Def: "4", Min: 2, Max: 64, Bounded: true,
+			Help: "failure-domain (rack) count"},
+		{Name: "workers", Kind: params.Int, Def: "0", Min: 0, Max: 1024, Bounded: true,
+			Help: "parallel rack simulation workers (0 = GOMAXPROCS, 1 = sequential)"},
+	}
+}
+
+// ConfigFromParams maps a validated parameter set (racks, workers,
+// seed) onto a Config. Shape knobs the parameter surface does not
+// expose (hosts/tenants per rack, skew, fabric) stay at their zero
+// values for the caller to fill before New.
+func ConfigFromParams(p *params.Set) Config {
+	return Config{
+		Racks:   p.Int("racks"),
+		Workers: p.Int("workers"),
+		Seed:    p.Seed(),
+	}
 }
 
 // Tenant is one pooled-NIC consumer: homed in a rack, currently placed

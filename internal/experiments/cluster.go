@@ -1,96 +1,109 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"io"
+	"strconv"
 
 	"cxlpool/internal/cluster"
-	"cxlpool/internal/metrics"
+	"cxlpool/internal/params"
+	"cxlpool/internal/report"
 	"cxlpool/internal/runner"
 	"cxlpool/internal/sim"
 	"cxlpool/internal/torless"
 	"cxlpool/internal/workload"
 )
 
-// ClusterFederation is E14: the paper's pooling argument taken to fleet
-// scale. A federated cluster of racks — each rack a fully simulated pod
-// with its own orchestrator — absorbs a rotating demand hotspot by
-// spilling tenants across the inter-rack fabric, survives a whole-rack
-// maintenance drain, and repatriates exiles when their home cools
-// down. The closing sweep reproduces the pooling-benefit curve at rack
-// granularity: hot-rack tenant goodput vs cluster size, isolated racks
-// against federation.
-func ClusterFederation(w io.Writer, seed int64) error {
-	return ClusterFederationN(w, seed, 4, 0)
-}
+// clusterParamSpecs is the E14 parameter surface: the cluster package
+// declares its own knobs (racks, workers) and the scenario adopts them
+// unchanged.
+func clusterParamSpecs() []params.Spec { return cluster.ParamSpecs() }
 
-// ClusterFederationN runs E14 at a chosen rack count (>= 2) and worker
-// bound. Output is byte-identical for any worker count.
-func ClusterFederationN(w io.Writer, seed int64, racks, workers int) error {
+// runClusterFederation is E14: the paper's pooling argument taken to
+// fleet scale. A federated cluster of racks — each rack a fully
+// simulated pod with its own orchestrator — absorbs a rotating demand
+// hotspot by spilling tenants across the inter-rack fabric, survives a
+// whole-rack maintenance drain, and repatriates exiles when their home
+// cools down. The closing sweep reproduces the pooling-benefit curve
+// at rack granularity: hot-rack tenant goodput vs cluster size,
+// isolated racks against federation. Output is byte-identical for any
+// worker count.
+func runClusterFederation(_ context.Context, p *params.Set) (*report.Report, error) {
+	racks, workers := p.Int("racks"), p.Int("workers")
 	if racks < 2 {
-		return fmt.Errorf("experiments: cluster needs >= 2 racks, got %d", racks)
+		return nil, fmt.Errorf("experiments: cluster needs >= 2 racks, got %d", racks)
 	}
-	c, err := cluster.New(clusterConfig(seed, racks, true, workers))
+	c, err := cluster.New(clusterShape(cluster.ConfigFromParams(p), true))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cfg := c.Config() // effective config: fabric tiers defaulted
 	nDomains := len(c.Racks())
-	fmt.Fprintf(w, "E14: cluster federation — %d racks x %d hosts, %d tenants/rack, %gx rotating hotspot\n",
+	r := newReport("cluster", p)
+	r.Linef("E14: cluster federation — %d racks x %d hosts, %d tenants/rack, %gx rotating hotspot",
 		nDomains, cfg.HostsPerRack, cfg.TenantsPerRack, cfg.Skew.HotFactor)
-	fmt.Fprintf(w, "fabric: %v; %v; migration %v for %d MiB state\n",
+	r.Linef("fabric: %v; %v; migration %v for %d MiB state",
 		cfg.Fabric.IntraRack, cfg.Fabric.InterRack,
 		cfg.Fabric.MigrationCost(cfg.TenantState), cfg.TenantState>>20)
-	fmt.Fprintln(w)
+	r.Blank()
 
 	const epochs = 6
 	drainAt, drainRack := 3, 1
-	head := []string{"epoch", "hot", "xmig", "rep"}
-	for i := 0; i < nDomains; i++ {
-		head = append(head, fmt.Sprintf("rack%d off>del Gbps", i))
+	cols := []report.Column{
+		report.NumCol("epoch"), report.StrCol("hot"),
+		report.NumCol("xmig"), report.NumCol("rep"),
 	}
-	t := metrics.NewTable(head...)
+	for i := 0; i < nDomains; i++ {
+		cols = append(cols, report.StrCol(fmt.Sprintf("rack%d off>del Gbps", i)))
+	}
+	t := r.AddTable("epochs", cols...)
 	var drainMoved int
 	var drainCost string
 	for e := 0; e < epochs; e++ {
 		if e == drainAt {
 			moved, cost, err := c.DrainRack(drainRack)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			drainMoved, drainCost = moved, cost.String()
 		}
 		st, err := c.RunEpoch()
 		if err != nil {
-			return err
+			return nil, err
 		}
-		row := []string{
-			fmt.Sprintf("%d", st.Epoch),
-			fmt.Sprintf("rack%d", st.HotRack),
-			fmt.Sprintf("%d", st.Migrations),
-			fmt.Sprintf("%d", st.Repatriations),
+		row := []report.Cell{
+			report.Num(float64(st.Epoch), "%d", st.Epoch),
+			report.Strf("rack%d", st.HotRack),
+			report.Num(float64(st.Migrations), "%d", st.Migrations),
+			report.Num(float64(st.Repatriations), "%d", st.Repatriations),
 		}
 		for i := 0; i < nDomains; i++ {
-			cell := fmt.Sprintf("%3.0f>%3.0f (p=%.2f)", st.OfferedGbps[i], st.DeliveredGbps[i], st.Pressure[i])
+			cell := report.Strf("%3.0f>%3.0f (p=%.2f)", st.OfferedGbps[i], st.DeliveredGbps[i], st.Pressure[i])
 			if i == drainRack && e >= drainAt {
-				cell = "  drained"
+				cell = report.Str("  drained")
 			}
 			row = append(row, cell)
 		}
-		t.AddRow(row...)
+		t.Row(row...)
 	}
-	fmt.Fprint(w, t.String())
 
 	local, spill, mig, _ := c.Counters()
-	fmt.Fprintf(w, "\nplacements: local=%d spill=%d | cross-rack migrations out: %s (total %d)\n",
+	r.Blank()
+	r.Linef("placements: local=%d spill=%d | cross-rack migrations out: %s (total %d)",
 		local.Total(), spill.Total(), mig.String(), mig.Total())
-	fmt.Fprintf(w, "rack drain: rack%d at epoch %d — %d tenants relocated, %s of spine streaming\n",
+	r.Linef("rack drain: rack%d at epoch %d — %d tenants relocated, %s of spine streaming",
 		drainRack, drainAt, drainMoved, drainCost)
 	if c.MigrationTime.Count() > 0 {
-		fmt.Fprintf(w, "migration cost: %v per move (n=%d)\n",
+		r.Linef("migration cost: %v per move (n=%d)",
 			sim.Duration(c.MigrationTime.Percentile(50)), c.MigrationTime.Count())
 	}
-	fmt.Fprintf(w, "spilled-tenant penalty: +%v per op while remote\n", cfg.Fabric.RemotePenalty())
+	r.Linef("spilled-tenant penalty: +%v per op while remote", cfg.Fabric.RemotePenalty())
+	// CounterSet feeds the structured report directly: placements and
+	// per-destination migration tallies land as scalars (JSON/CSV only).
+	local.AppendScalars(r, "placements.local.")
+	spill.AppendScalars(r, "placements.spill.")
+	mig.AppendScalars(r, "migrations.")
+	r.AddScalar("drain.tenants_relocated", float64(drainMoved), "tenants")
 	// Failure-domain reliability, from the §5 torless analysis of one
 	// rack's design (analytic closed forms).
 	rs, err := torless.Analyze(torless.Config{
@@ -98,23 +111,24 @@ func ClusterFederationN(w io.Writer, seed int64, racks, workers int) error {
 		PooledNICs: cfg.HostsPerRack - 1,
 		Probs:      cfg.Fabric.Probs,
 		Trials:     1, // analytic columns only; skip the expensive MC
-		Seed:       seed,
+		Seed:       p.Seed(),
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	for _, r := range rs {
-		if r.Design == torless.ToRLess {
-			fmt.Fprintf(w, "failure domains: %d racks; per-rack outage (ToR-less pod, analytic) %.6f\n",
-				nDomains, r.RackOutageAnalytic)
+	for _, row := range rs {
+		if row.Design == torless.ToRLess {
+			r.Linef("failure domains: %d racks; per-rack outage (ToR-less pod, analytic) %.6f",
+				nDomains, row.RackOutageAnalytic)
+			r.AddScalar("rack_outage_analytic", row.RackOutageAnalytic, "")
 		}
 	}
-	fmt.Fprintln(w)
+	r.Blank()
 
 	// Pooling-benefit curve: goodput of the tenants homed in whichever
 	// rack is hot, as the cluster grows. Isolated racks pin hot tenants
 	// to their overloaded home; federation gives them the fleet.
-	fmt.Fprintln(w, "pooling benefit at rack scale (hot-rack tenant goodput, 4 epochs):")
+	r.Line("pooling benefit at rack scale (hot-rack tenant goodput, 4 epochs):")
 	type point struct {
 		racks      int
 		local, fed float64
@@ -128,7 +142,7 @@ func ClusterFederationN(w io.Writer, seed int64, racks, workers int) error {
 	if err := pool.ForEach(len(sizes)*2, func(i int) error {
 		// Tasks 2k and 2k+1 share pts[k] but write disjoint fields.
 		n, federate := sizes[i/2], i%2 == 1
-		g, err := hotGoodput(seed, n, federate, 1)
+		g, err := hotGoodput(p, n, federate)
 		if err != nil {
 			return err
 		}
@@ -139,42 +153,52 @@ func ClusterFederationN(w io.Writer, seed int64, racks, workers int) error {
 		}
 		return nil
 	}); err != nil {
-		return err
+		return nil, err
 	}
-	bt := metrics.NewTable("racks", "isolated racks", "federated", "benefit")
-	for _, p := range pts {
-		bt.AddRow(fmt.Sprintf("%d", p.racks),
-			fmt.Sprintf("%.0f%%", p.local*100),
-			fmt.Sprintf("%.0f%%", p.fed*100),
-			fmt.Sprintf("%.2fx", p.fed/p.local))
+	bt := r.AddTable("pooling_benefit",
+		report.NumCol("racks"), report.NumCol("isolated racks"),
+		report.NumCol("federated"), report.NumCol("benefit"))
+	benefit := report.Series{Name: "pooling_benefit_vs_racks", XLabel: "racks", YLabel: "federated/isolated goodput"}
+	for _, pt := range pts {
+		bt.Row(report.Num(float64(pt.racks), "%d", pt.racks),
+			report.Num(pt.local*100, "%.0f%%"),
+			report.Num(pt.fed*100, "%.0f%%"),
+			report.Num(pt.fed/pt.local, "%.2fx"))
+		benefit.Points = append(benefit.Points, [2]float64{float64(pt.racks), pt.fed / pt.local})
 	}
-	fmt.Fprint(w, bt.String())
-	fmt.Fprintln(w, "(isolated racks strand remote slack exactly like unpooled PCIe devices strand NICs)")
-	return nil
+	r.AddSeries(benefit)
+	r.Line("(isolated racks strand remote slack exactly like unpooled PCIe devices strand NICs)")
+	return r, nil
 }
 
-// clusterConfig is the shared E14 shape: 200 Gbps racks (two pooled
-// 100G NICs each), six tenants per rack, 12x hotspot dwelling two
-// epochs per rack — hot-rack demand (~390 Gbps offered) overruns
-// one rack but fits the cluster.
-func clusterConfig(seed int64, racks int, federate bool, workers int) cluster.Config {
-	return cluster.Config{
-		Racks:          racks,
-		HostsPerRack:   3,
-		TenantsPerRack: 6,
-		Seed:           seed,
-		Federate:       federate,
-		Workers:        workers,
-		Skew:           workload.RackSkew{HotFactor: 12, Period: 2},
-	}
+// clusterShape fills the shared E14 shape onto a params-derived config:
+// 200 Gbps racks (two pooled 100G NICs each), six tenants per rack,
+// 12x hotspot dwelling two epochs per rack — hot-rack demand (~390
+// Gbps offered) overruns one rack but fits the cluster.
+func clusterShape(cfg cluster.Config, federate bool) cluster.Config {
+	cfg.HostsPerRack = 3
+	cfg.TenantsPerRack = 6
+	cfg.Federate = federate
+	cfg.Skew = workload.RackSkew{HotFactor: 12, Period: 2}
+	return cfg
 }
 
-// hotGoodput runs a fresh cluster for `epochs` epochs and returns
-// delivered/offered for the tenants homed in the racks the hotspot
-// visits. Isolated racks queue hot traffic behind their two saturated
-// NICs; federation hands the excess to remote racks' idle devices.
-func hotGoodput(seed int64, racks int, federate bool, workers int) (float64, error) {
-	cfg := clusterConfig(seed, racks, federate, workers)
+// hotGoodput runs a fresh cluster of the given size for four epochs
+// and returns delivered/offered for the tenants homed in the racks the
+// hotspot visits. Isolated racks queue hot traffic behind their two
+// saturated NICs; federation hands the excess to remote racks' idle
+// devices.
+func hotGoodput(p *params.Set, racks int, federate bool) (float64, error) {
+	pp := p.Clone()
+	if err := pp.Set("racks", strconv.Itoa(racks)); err != nil {
+		return 0, err
+	}
+	// The benefit sweep itself already runs points in parallel; each
+	// cluster simulates its racks sequentially.
+	if err := pp.Set("workers", "1"); err != nil {
+		return 0, err
+	}
+	cfg := clusterShape(cluster.ConfigFromParams(pp), federate)
 	// Half-length epochs: the sweep needs ratios, not long steady
 	// state, and it runs ten clusters.
 	cfg.Epoch = sim.Millisecond

@@ -1,11 +1,34 @@
 package experiments
 
 import (
-	"bytes"
-	"io"
+	"context"
+	"strconv"
 	"strings"
 	"testing"
 )
+
+// runCluster renders the E14 scenario at the given racks/workers.
+func runCluster(t *testing.T, seed int64, racks, workers int) string {
+	t.Helper()
+	s, ok := Lookup("cluster")
+	if !ok {
+		t.Fatal("cluster not registered")
+	}
+	p := s.NewParams()
+	for name, v := range map[string]int{"racks": racks, "workers": workers} {
+		if err := p.Set(name, strconv.Itoa(v)); err != nil {
+			t.Fatalf("set %s: %v", name, err)
+		}
+	}
+	if err := p.Set("seed", strconv.FormatInt(seed, 10)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Text()
+}
 
 func TestClusterFederationOutput(t *testing.T) {
 	if testing.Short() {
@@ -35,21 +58,23 @@ func TestClusterFederationWorkerDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-rack sweep in -short mode")
 	}
-	render := func(workers int) string {
-		var buf bytes.Buffer
-		if err := ClusterFederationN(&buf, 42, 4, workers); err != nil {
-			t.Fatal(err)
-		}
-		return buf.String()
-	}
-	seq := render(1)
-	if got := render(4); got != seq {
+	seq := runCluster(t, 42, 4, 1)
+	if got := runCluster(t, 42, 4, 4); got != seq {
 		t.Fatalf("workers=4 output diverges from sequential:\nseq:\n%s\npar:\n%s", seq, got)
 	}
 }
 
 func TestClusterFederationValidation(t *testing.T) {
-	if err := ClusterFederationN(io.Discard, 1, 1, 0); err == nil {
-		t.Fatal("single-rack cluster accepted")
+	s, ok := Lookup("cluster")
+	if !ok {
+		t.Fatal("cluster not registered")
+	}
+	// The declared bounds reject a single-rack cluster at the
+	// parameter layer — before any simulation runs.
+	if err := s.NewParams().Set("racks", "1"); err == nil {
+		t.Fatal("racks=1 accepted by the parameter bounds")
+	}
+	if err := s.NewParams().Set("racks", "not-a-number"); err == nil {
+		t.Fatal("non-numeric racks accepted")
 	}
 }

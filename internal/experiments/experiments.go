@@ -1,283 +1,344 @@
 // Package experiments regenerates every table and figure in the paper's
-// evaluation, one function per artifact. Each function runs the full
-// simulation stack and renders the same rows/series the paper reports,
-// so `cxlpool <experiment>` output can be laid side by side with the
-// publication.
+// evaluation through the Scenario API: one Scenario per artifact, each
+// declaring a typed parameter surface (params.Spec) and producing a
+// structured report.Report. Text output is a deterministic rendering
+// of the report, so `cxlpool all` remains byte-identical to its
+// goldens while the same run serves JSON and CSV consumers and the
+// `cxlpool sweep` cross-product driver.
 //
 // Index (see DESIGN.md for the complete mapping):
 //
-//	E1  Figure2     stranded CPU/memory/SSD/NIC capacity
-//	E2  SqrtN       §2.1 pooling-across-N stranding reduction
-//	E3  Figure3     UDP latency-throughput, DDR vs CXL buffers
-//	E4  Figure4     one-way shared-memory message latency CDF
-//	E5  Cost        §1/§3 PCIe-switch vs CXL-pod rack economics
-//	E6  Lanes       §5 CXL lane requirements per device class
-//	E7  MemLatency  §3 idle load-to-use: DDR vs CXL vs switched CXL
-//	E8  Failover    §4.2 orchestrated failover downtime
-//	E9  Ablations   design-choice ablations (coherence mode, switch,
-//	                allocation policy)
-//	E10 ToRless     §5 rack-network reliability comparison
+//	E1  figure2    stranded CPU/memory/SSD/NIC capacity
+//	E2  sqrtn      §2.1 pooling-across-N stranding reduction
+//	E3  figure3    UDP latency-throughput, DDR vs CXL buffers
+//	E4  figure4    one-way shared-memory message latency CDF
+//	E5  cost       §1/§3 PCIe-switch vs CXL-pod rack economics
+//	E6  lanes      §5 CXL lane requirements per device class
+//	E7  memlat     §3 idle load-to-use: DDR vs CXL vs switched CXL
+//	E8  failover   §4.2 orchestrated failover downtime
+//	E9  ablate     design-choice ablations (coherence mode, switch,
+//	               allocation policy)
+//	E10 torless    §5 rack-network reliability comparison
+//	E11 pooled     local vs pooled NIC datapath RTT
+//	E12 storage    local vs CXL-pooled vs NVMe-oF storage
+//	E13 figure2xl  stranding at 20k hosts (index-enabled scale-up)
+//	E14 cluster    multi-rack federation at rack scale
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"io"
 	"sort"
 	"strings"
 
 	"cxlpool/internal/bwplan"
 	"cxlpool/internal/cost"
-	"cxlpool/internal/metrics"
-	"cxlpool/internal/runner"
+	"cxlpool/internal/params"
+	"cxlpool/internal/report"
 	"cxlpool/internal/shm"
-	"cxlpool/internal/sim"
 	"cxlpool/internal/stack"
 	"cxlpool/internal/stranding"
 	"cxlpool/internal/torless"
 )
 
-// Experiment is one runnable artifact reproduction.
-type Experiment struct {
-	Name  string
-	Paper string // which paper artifact it regenerates
-	Run   func(w io.Writer, seed int64) error
-}
-
 // All returns the registry in presentation order.
-func All() []Experiment {
-	return []Experiment{
-		{"figure2", "Figure 2: stranded resources", Figure2},
-		{"sqrtn", "§2.1: sqrt(N) pooling estimate", SqrtN},
-		{"figure3", "Figure 3: UDP latency-throughput (all panels)", Figure3All},
-		{"figure4", "Figure 4: message-passing latency CDF", Figure4},
-		{"cost", "§1/§3: rack cost comparison", Cost},
-		{"lanes", "§5: CXL lane requirements", Lanes},
-		{"memlat", "§3: memory idle latency ladder", MemLatency},
-		{"failover", "§4.2: orchestrated failover", Failover},
-		{"ablate", "E9: design ablations", Ablations},
-		{"torless", "§5: ToR-less rack reliability", ToRless},
-		{"pooled", "E11: local vs pooled NIC datapath RTT", PooledNIC},
-		{"storage", "E12: local vs CXL-pooled vs NVMe-oF storage", Storage},
-		{"figure2xl", "E13: stranding at 20k hosts (index-enabled scale-up)", Figure2XL},
-		{"cluster", "E14: multi-rack federation — pooling benefit at rack scale", ClusterFederation},
+func All() []Scenario {
+	return []Scenario{
+		{Name: "figure2", Paper: "Figure 2: stranded resources",
+			Params: []params.Spec{hostsSpec(2000)}, Run: runFigure2},
+		{Name: "sqrtn", Paper: "§2.1: sqrt(N) pooling estimate", Run: runSqrtN},
+		{Name: "figure3", Paper: "Figure 3: UDP latency-throughput (all panels)",
+			Params: stack.Figure3ParamSpecs(), Run: runFigure3},
+		{Name: "figure4", Paper: "Figure 4: message-passing latency CDF",
+			Params: []params.Spec{{Name: "messages", Kind: params.Int, Def: "50000",
+				Min: 1000, Max: 10_000_000, Bounded: true,
+				Help: "ping-pong messages per run"}},
+			Run: runFigure4},
+		{Name: "cost", Paper: "§1/§3: rack cost comparison",
+			Params: []params.Spec{{Name: "hosts", Kind: params.Int, Def: "32",
+				Min: 1, Max: 1024, Bounded: true, Help: "hosts per rack"}},
+			Run: runCost},
+		{Name: "lanes", Paper: "§5: CXL lane requirements", Run: runLanes},
+		{Name: "memlat", Paper: "§3: memory idle latency ladder", Run: runMemLatency},
+		{Name: "failover", Paper: "§4.2: orchestrated failover",
+			Params: []params.Spec{{Name: "trials", Kind: params.Int, Def: "10",
+				Min: 1, Max: 1000, Bounded: true, Help: "failure-recovery cycles to run"}},
+			Run: runFailover},
+		{Name: "ablate", Paper: "E9: design ablations", Run: runAblations},
+		{Name: "torless", Paper: "§5: ToR-less rack reliability", Run: runToRless},
+		{Name: "pooled", Paper: "E11: local vs pooled NIC datapath RTT", Run: runPooledNIC},
+		{Name: "storage", Paper: "E12: local vs CXL-pooled vs NVMe-oF storage", Run: runStorage},
+		{Name: "figure2xl", Paper: "E13: stranding at 20k hosts (index-enabled scale-up)",
+			Params: []params.Spec{hostsSpec(20000)}, Run: runFigure2XL},
+		{Name: "cluster", Paper: "E14: multi-rack federation — pooling benefit at rack scale",
+			Params: clusterParamSpecs(), Run: runClusterFederation},
 	}
 }
 
-// Lookup finds an experiment by name.
-func Lookup(name string) (Experiment, bool) {
-	for _, e := range All() {
-		if e.Name == name {
-			return e, true
-		}
-	}
-	return Experiment{}, false
+// hostsSpec declares the stranding studies' cluster-size knob.
+func hostsSpec(def int) params.Spec {
+	return params.Spec{Name: "hosts", Kind: params.Int, Def: fmt.Sprint(def),
+		Min: 16, Max: 1_000_000, Bounded: true, Help: "hosts in the packed cluster"}
 }
 
-// RunAll runs every registered experiment and writes each one's banner
-// and output to w in registry order. Experiments fan out across at most
-// workers goroutines (<= 0 means GOMAXPROCS); because each experiment
-// is a pure function of its seed on a private engine, the bytes written
-// are identical for any worker count, including 1.
-func RunAll(w io.Writer, seed int64, workers int) error {
-	all := All()
-	tasks := make([]runner.Task, len(all))
-	for i, e := range all {
-		e := e
-		tasks[i] = runner.Task{
-			Name: e.Name,
-			Run: func(tw io.Writer) error {
-				fmt.Fprintf(tw, "================ %s — %s ================\n", e.Name, e.Paper)
-				if err := e.Run(tw, seed); err != nil {
-					return err
-				}
-				fmt.Fprintln(tw)
-				return nil
-			},
-		}
+// strandingTable renders the common Figure-2-shaped table and records
+// the stranded fractions as scalars.
+func strandingTable(r *report.Report, s stranding.Stranding, paperCol string, paper [4]string) {
+	t := r.AddTable("stranding",
+		report.StrCol("resource"),
+		report.NumCol("stranded [% of capacity]"),
+		report.StrCol(paperCol))
+	rows := []struct {
+		name string
+		frac float64
+	}{
+		{"CPU", s.CPU}, {"Memory", s.Memory}, {"SSD", s.SSD}, {"Network", s.NIC},
 	}
-	return runner.Pool{Workers: workers}.Stream(w, tasks)
+	for i, row := range rows {
+		t.Row(report.Str(row.name), report.Num(row.frac*100, "%.1f"), report.Str(paper[i]))
+		r.AddScalar("stranded_pct."+strings.ToLower(row.name), row.frac*100, "%")
+	}
 }
 
-// Figure2 regenerates the stranded-resource bars.
-func Figure2(w io.Writer, seed int64) error {
-	s, err := stranding.PackCluster(stranding.Config{Hosts: 2000, Seed: seed})
+// runFigure2 regenerates the stranded-resource bars.
+func runFigure2(_ context.Context, p *params.Set) (*report.Report, error) {
+	hosts := p.Int("hosts")
+	s, err := stranding.PackCluster(stranding.Config{Hosts: hosts, Seed: p.Seed()})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintln(w, "Figure 2: stranded resources at cluster saturation")
-	fmt.Fprintln(w, "(paper, Azure production: CPU ~8%, Memory ~3%, SSD ~54%, Network ~29%)")
-	fmt.Fprintln(w)
-	t := metrics.NewTable("resource", "stranded [% of capacity]", "paper")
-	t.AddRow("CPU", fmt.Sprintf("%.1f", s.CPU*100), "~8")
-	t.AddRow("Memory", fmt.Sprintf("%.1f", s.Memory*100), "~3")
-	t.AddRow("SSD", fmt.Sprintf("%.1f", s.SSD*100), "~54")
-	t.AddRow("Network", fmt.Sprintf("%.1f", s.NIC*100), "~29")
-	fmt.Fprint(w, t.String())
-	fmt.Fprintf(w, "\n(%d VMs packed on 2000 hosts)\n", s.PlacedVMs)
-	return nil
+	r := newReport("figure2", p)
+	r.Line("Figure 2: stranded resources at cluster saturation")
+	r.Line("(paper, Azure production: CPU ~8%, Memory ~3%, SSD ~54%, Network ~29%)")
+	r.Blank()
+	strandingTable(r, s, "paper", [4]string{"~8", "~3", "~54", "~29"})
+	r.Blank()
+	r.Linef("(%d VMs packed on %d hosts)", s.PlacedVMs, hosts)
+	r.AddScalar("placed_vms", float64(s.PlacedVMs), "VMs")
+	r.AddScalar("hosts", float64(hosts), "hosts")
+	return r, nil
 }
 
-// Figure2XL reruns the stranding study on a 20,000-host cluster — ten
-// times the paper's 2000 — which the bucketed free-capacity index in
-// the packer makes affordable. The profile should match Figure 2:
+// runFigure2XL reruns the stranding study on a 20,000-host cluster —
+// ten times the paper's 2000 — which the bucketed free-capacity index
+// in the packer makes affordable. The profile should match Figure 2:
 // stranding is a property of the VM mix, not the cluster size.
-func Figure2XL(w io.Writer, seed int64) error {
-	const hosts = 20000
-	s, err := stranding.PackCluster(stranding.Config{Hosts: hosts, Seed: seed})
+func runFigure2XL(_ context.Context, p *params.Set) (*report.Report, error) {
+	hosts := p.Int("hosts")
+	s, err := stranding.PackCluster(stranding.Config{Hosts: hosts, Seed: p.Seed()})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintf(w, "E13: stranded resources at %d hosts (10x Figure 2's cluster)\n", hosts)
-	fmt.Fprintln(w, "(scale-invariance check: the profile should match Figure 2)")
-	fmt.Fprintln(w)
-	t := metrics.NewTable("resource", "stranded [% of capacity]", "figure 2 @2k hosts")
-	t.AddRow("CPU", fmt.Sprintf("%.1f", s.CPU*100), "~6")
-	t.AddRow("Memory", fmt.Sprintf("%.1f", s.Memory*100), "~7")
-	t.AddRow("SSD", fmt.Sprintf("%.1f", s.SSD*100), "~55")
-	t.AddRow("Network", fmt.Sprintf("%.1f", s.NIC*100), "~32")
-	fmt.Fprint(w, t.String())
-	fmt.Fprintf(w, "\n(%d VMs packed on %d hosts)\n", s.PlacedVMs, hosts)
-	return nil
+	r := newReport("figure2xl", p)
+	r.Linef("E13: stranded resources at %d hosts (10x Figure 2's cluster)", hosts)
+	r.Line("(scale-invariance check: the profile should match Figure 2)")
+	r.Blank()
+	strandingTable(r, s, "figure 2 @2k hosts", [4]string{"~6", "~7", "~55", "~32"})
+	r.Blank()
+	r.Linef("(%d VMs packed on %d hosts)", s.PlacedVMs, hosts)
+	r.AddScalar("placed_vms", float64(s.PlacedVMs), "VMs")
+	r.AddScalar("hosts", float64(hosts), "hosts")
+	return r, nil
 }
 
-// SqrtN regenerates the §2.1 pooling table.
-func SqrtN(w io.Writer, seed int64) error {
-	rows, err := stranding.PoolingStudy(stranding.Config{Seed: seed},
+// runSqrtN regenerates the §2.1 pooling table.
+func runSqrtN(_ context.Context, p *params.Set) (*report.Report, error) {
+	rows, err := stranding.PoolingStudy(stranding.Config{Seed: p.Seed()},
 		[]int{1, 2, 4, 8, 16, 32}, 0.99)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintln(w, "§2.1: stranding vs pooling group size N")
-	fmt.Fprintln(w, "(paper estimate at N=8: SSD 54%→19%, NIC 29%→10%)")
-	fmt.Fprintln(w)
-	t := metrics.NewTable("N", "SSD stranded", "S1/sqrt(N)", "NIC stranded", "S1/sqrt(N)")
-	for _, r := range rows {
-		t.AddRow(fmt.Sprintf("%d", r.N),
-			fmt.Sprintf("%.1f%%", r.SSD*100),
-			fmt.Sprintf("%.1f%%", r.SSDAnalytic*100),
-			fmt.Sprintf("%.1f%%", r.NIC*100),
-			fmt.Sprintf("%.1f%%", r.NICAnalytic*100))
+	r := newReport("sqrtn", p)
+	r.Line("§2.1: stranding vs pooling group size N")
+	r.Line("(paper estimate at N=8: SSD 54%→19%, NIC 29%→10%)")
+	r.Blank()
+	t := r.AddTable("pooling",
+		report.NumCol("N"),
+		report.NumCol("SSD stranded"), report.NumCol("S1/sqrt(N)"),
+		report.NumCol("NIC stranded"), report.NumCol("S1/sqrt(N)"))
+	ssdSeries := report.Series{Name: "ssd_stranded_vs_n", XLabel: "N", YLabel: "stranded fraction"}
+	nicSeries := report.Series{Name: "nic_stranded_vs_n", XLabel: "N", YLabel: "stranded fraction"}
+	for _, row := range rows {
+		t.Row(report.Num(float64(row.N), "%d", row.N),
+			report.Num(row.SSD*100, "%.1f%%"),
+			report.Num(row.SSDAnalytic*100, "%.1f%%"),
+			report.Num(row.NIC*100, "%.1f%%"),
+			report.Num(row.NICAnalytic*100, "%.1f%%"))
+		ssdSeries.Points = append(ssdSeries.Points, [2]float64{float64(row.N), row.SSD})
+		nicSeries.Points = append(nicSeries.Points, [2]float64{float64(row.N), row.NIC})
 	}
-	fmt.Fprint(w, t.String())
-	return nil
+	r.AddSeries(ssdSeries)
+	r.AddSeries(nicSeries)
+	return r, nil
 }
 
-// Figure3Panel regenerates one panel (one payload size).
-func Figure3Panel(w io.Writer, payload int, seed int64) error {
-	loads := stack.DefaultLoads(payload)
-	ddr, cxlSeries, err := stack.Figure3Sweep(payload, loads, 10*sim.Millisecond, seed)
+// figure3Panel appends one panel (one payload size) to the report. pp
+// must hold a single numeric payload.
+func figure3Panel(r *report.Report, pp *params.Set) error {
+	payload := pp.Int("payload")
+	ddr, cxlSeries, err := stack.Figure3SweepParams(pp)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "Figure 3 (%d B payloads): latency vs throughput, 100 Gbps NICs\n", payload)
-	fmt.Fprintln(w, "(paper: CXL and DDR curves overlap; CXL overhead negligible)")
-	fmt.Fprintln(w)
-	t := metrics.NewTable("offered MOPS", "mode", "achieved MOPS", "p50 us", "p90 us", "p99 us")
+	r.Linef("Figure 3 (%d B payloads): latency vs throughput, 100 Gbps NICs", payload)
+	r.Line("(paper: CXL and DDR curves overlap; CXL overhead negligible)")
+	r.Blank()
+	t := r.AddTable(fmt.Sprintf("latency_throughput_%dB", payload),
+		report.NumCol("offered MOPS"), report.StrCol("mode"),
+		report.NumCol("achieved MOPS"),
+		report.NumCol("p50 us"), report.NumCol("p90 us"), report.NumCol("p99 us"))
+	curves := map[string]*report.Series{}
+	for _, mode := range []string{"DDR", "CXL"} {
+		curves[mode] = &report.Series{
+			Name:   fmt.Sprintf("p50_vs_offered_%dB_%s", payload, strings.ToLower(mode)),
+			XLabel: "offered MOPS", YLabel: "p50 us",
+		}
+	}
 	for i := range ddr {
-		for _, r := range []stack.Figure3Point{ddr[i], cxlSeries[i]} {
-			t.AddRow(fmt.Sprintf("%.2f", r.OfferedMOPS), r.Mode.String(),
-				fmt.Sprintf("%.2f", r.AchievedMOPS),
-				fmt.Sprintf("%.1f", r.P50us), fmt.Sprintf("%.1f", r.P90us),
-				fmt.Sprintf("%.1f", r.P99us))
+		for _, pt := range []stack.Figure3Point{ddr[i], cxlSeries[i]} {
+			t.Row(report.Num(pt.OfferedMOPS, "%.2f"), report.Str(pt.Mode.String()),
+				report.Num(pt.AchievedMOPS, "%.2f"),
+				report.Num(pt.P50us, "%.1f"), report.Num(pt.P90us, "%.1f"),
+				report.Num(pt.P99us, "%.1f"))
+			if s, ok := curves[pt.Mode.String()]; ok {
+				s.Points = append(s.Points, [2]float64{pt.OfferedMOPS, pt.P50us})
+			}
 		}
 	}
-	fmt.Fprint(w, t.String())
+	r.AddSeries(*curves["DDR"])
+	r.AddSeries(*curves["CXL"])
 	return nil
 }
 
-// Figure3All regenerates all three panels.
-func Figure3All(w io.Writer, seed int64) error {
-	for _, payload := range []int{75, 1500, 9000} {
-		if err := Figure3Panel(w, payload, seed); err != nil {
-			return err
+// runFigure3 regenerates Figure 3: all three panels when payload=all,
+// one otherwise.
+func runFigure3(_ context.Context, p *params.Set) (*report.Report, error) {
+	r := newReport("figure3", p)
+	if p.Str("payload") != "all" {
+		if err := figure3Panel(r, p); err != nil {
+			return nil, err
 		}
-		fmt.Fprintln(w)
+		return r, nil
 	}
-	return nil
+	for _, payload := range []string{"75", "1500", "9000"} {
+		pp := p.Clone()
+		if err := pp.Set("payload", payload); err != nil {
+			return nil, err
+		}
+		if err := figure3Panel(r, pp); err != nil {
+			return nil, err
+		}
+		r.Blank()
+	}
+	return r, nil
 }
 
-// Figure4 regenerates the message-passing CDF.
-func Figure4(w io.Writer, seed int64) error {
-	res, err := shm.PingPong(shm.PingPongConfig{Messages: 50000, Seed: seed})
+// runFigure4 regenerates the message-passing CDF.
+func runFigure4(_ context.Context, p *params.Set) (*report.Report, error) {
+	res, err := shm.PingPong(shm.PingPongConfig{Messages: p.Int("messages"), Seed: p.Seed()})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	s := res.OneWay.Summarize()
-	fmt.Fprintln(w, "Figure 4: one-way message-passing latency over CXL shared memory")
-	fmt.Fprintln(w, "(paper: median ~600 ns, sub-microsecond distribution, x16 links)")
-	fmt.Fprintln(w)
-	fmt.Fprintf(w, "min=%.0fns p50=%.0fns p90=%.0fns p99=%.0fns max=%.0fns (n=%d)\n\n",
+	r := newReport("figure4", p)
+	r.Line("Figure 4: one-way message-passing latency over CXL shared memory")
+	r.Line("(paper: median ~600 ns, sub-microsecond distribution, x16 links)")
+	r.Blank()
+	r.Linef("min=%.0fns p50=%.0fns p90=%.0fns p99=%.0fns max=%.0fns (n=%d)",
 		s.Min, s.P50, s.P90, s.P99, s.Max, s.Count)
-	fmt.Fprintln(w, "CDF:")
+	r.Blank()
+	r.Line("CDF:")
+	cdf := report.Series{Name: "oneway_latency_cdf", XLabel: "latency ns", YLabel: "F"}
 	for _, pt := range res.OneWay.CDF(20) {
 		bar := int(pt.F * 50)
-		fmt.Fprintf(w, "%6.0fns %5.1f%% |%s\n", pt.Value, pt.F*100, strings.Repeat("#", bar))
+		r.Linef("%6.0fns %5.1f%% |%s", pt.Value, pt.F*100, strings.Repeat("#", bar))
+		cdf.Points = append(cdf.Points, [2]float64{pt.Value, pt.F})
 	}
-	return nil
+	r.AddSeries(cdf)
+	r.AddScalar("oneway_ns.min", s.Min, "ns")
+	r.AddScalar("oneway_ns.p50", s.P50, "ns")
+	r.AddScalar("oneway_ns.p90", s.P90, "ns")
+	r.AddScalar("oneway_ns.p99", s.P99, "ns")
+	r.AddScalar("oneway_ns.max", s.Max, "ns")
+	r.AddScalar("messages", float64(s.Count), "msgs")
+	return r, nil
 }
 
-// Cost regenerates the rack economics comparison.
-func Cost(w io.Writer, _ int64) error {
-	fmt.Fprintln(w, "§1/§3: PCIe-switch vs CXL-pod rack economics (32 hosts)")
-	fmt.Fprintln(w, "(paper: switch racks 'easily reach $80,000'; pods ~'$600 per host')")
-	fmt.Fprintln(w)
-	t := metrics.NewTable("configuration", "rack total", "per host", "vs CXL pod")
-	single, err := cost.Compare(cost.RackConfig{Hosts: 32}, cost.DefaultPCIeSwitchPricing(), cost.DefaultCXLPodPricing())
+// runCost regenerates the rack economics comparison.
+func runCost(_ context.Context, p *params.Set) (*report.Report, error) {
+	hosts := p.Int("hosts")
+	r := newReport("cost", p)
+	r.Linef("§1/§3: PCIe-switch vs CXL-pod rack economics (%d hosts)", hosts)
+	r.Line("(paper: switch racks 'easily reach $80,000'; pods ~'$600 per host')")
+	r.Blank()
+	t := r.AddTable("economics",
+		report.StrCol("configuration"), report.StrCol("rack total"),
+		report.StrCol("per host"), report.StrCol("vs CXL pod"))
+	single, err := cost.Compare(cost.RackConfig{Hosts: hosts}, cost.DefaultPCIeSwitchPricing(), cost.DefaultCXLPodPricing())
 	if err != nil {
-		return err
+		return nil, err
 	}
-	dual, err := cost.Compare(cost.RackConfig{Hosts: 32, RedundantSwitches: true}, cost.DefaultPCIeSwitchPricing(), cost.DefaultCXLPodPricing())
+	dual, err := cost.Compare(cost.RackConfig{Hosts: hosts, RedundantSwitches: true}, cost.DefaultPCIeSwitchPricing(), cost.DefaultCXLPodPricing())
 	if err != nil {
-		return err
+		return nil, err
 	}
-	t.AddRow("PCIe switch (single)", single.PCIeSwitchTotal.String(), single.PCIeSwitchPerHost.String(), fmt.Sprintf("%.1fx", single.Ratio))
-	t.AddRow("PCIe switch (redundant)", dual.PCIeSwitchTotal.String(), dual.PCIeSwitchPerHost.String(), fmt.Sprintf("%.1fx", dual.Ratio))
-	t.AddRow("CXL pod (MHD-based)", single.CXLPodTotal.String(), single.CXLPodPerHost.String(), "1.0x")
+	t.Row(report.Str("PCIe switch (single)"), report.Str(single.PCIeSwitchTotal.String()),
+		report.Str(single.PCIeSwitchPerHost.String()), report.Strf("%.1fx", single.Ratio))
+	t.Row(report.Str("PCIe switch (redundant)"), report.Str(dual.PCIeSwitchTotal.String()),
+		report.Str(dual.PCIeSwitchPerHost.String()), report.Strf("%.1fx", dual.Ratio))
+	t.Row(report.Str("CXL pod (MHD-based)"), report.Str(single.CXLPodTotal.String()),
+		report.Str(single.CXLPodPerHost.String()), report.Str("1.0x"))
 	roi := cost.DefaultCXLPodPricing()
 	roi.MemoryPoolingROI = true
-	inc, err := cost.Compare(cost.RackConfig{Hosts: 32}, cost.DefaultPCIeSwitchPricing(), roi)
+	inc, err := cost.Compare(cost.RackConfig{Hosts: hosts}, cost.DefaultPCIeSwitchPricing(), roi)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	t.AddRow("CXL pod (memory-pooling ROI)", inc.CXLIncremental.String(), "$0", "-")
-	fmt.Fprint(w, t.String())
+	t.Row(report.Str("CXL pod (memory-pooling ROI)"), report.Str(inc.CXLIncremental.String()),
+		report.Str("$0"), report.Str("-"))
+	r.AddScalar("switch_vs_pod_ratio", single.Ratio, "x")
 
-	sv, err := cost.Savings(32, 3000, 0.54, 0.19)
+	sv, err := cost.Savings(hosts, 3000, 0.54, 0.19)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintf(w, "\nDevice savings from SSD stranding 54%%→19%% at N=8: %s per rack (%.0f%% of device spend)\n",
+	r.Blank()
+	r.Linef("Device savings from SSD stranding 54%%→19%% at N=8: %s per rack (%.0f%% of device spend)",
 		sv.SavedPerRack, sv.SavedFraction*100)
-	return nil
+	r.AddScalar("device_savings_fraction", sv.SavedFraction, "")
+	return r, nil
 }
 
-// Lanes regenerates the §5 lane-math table.
-func Lanes(w io.Writer, _ int64) error {
+// runLanes regenerates the §5 lane-math table.
+func runLanes(_ context.Context, p *params.Set) (*report.Report, error) {
 	plans, err := bwplan.PlanAll(bwplan.PaperExamples())
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintln(w, "§5: CXL lanes required to disaggregate PCIe devices")
-	fmt.Fprintln(w, "(paper: 200G NIC→8 lanes, 400G→16, 6 SSDs→8, 8x400G→>100 'less realistic')")
-	fmt.Fprintln(w)
-	for _, p := range plans {
-		fmt.Fprintln(w, p.String())
+	r := newReport("lanes", p)
+	r.Line("§5: CXL lanes required to disaggregate PCIe devices")
+	r.Line("(paper: 200G NIC→8 lanes, 400G→16, 6 SSDs→8, 8x400G→>100 'less realistic')")
+	r.Blank()
+	for _, plan := range plans {
+		r.Line(plan.String())
 	}
-	return nil
+	return r, nil
 }
 
-// ToRless regenerates the rack-network reliability comparison.
-func ToRless(w io.Writer, seed int64) error {
-	rs, err := torless.Analyze(torless.Config{Seed: seed})
+// runToRless regenerates the rack-network reliability comparison.
+func runToRless(_ context.Context, p *params.Set) (*report.Report, error) {
+	rs, err := torless.Analyze(torless.Config{Seed: p.Seed()})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintln(w, "§5: rack network designs — host reachability (Monte-Carlo + analytic)")
-	fmt.Fprintln(w)
+	r := newReport("torless", p)
+	r.Line("§5: rack network designs — host reachability (Monte-Carlo + analytic)")
+	r.Blank()
 	// Deterministic order.
 	sort.Slice(rs, func(i, j int) bool { return rs[i].Design < rs[j].Design })
-	for _, r := range rs {
-		fmt.Fprintln(w, r.String())
+	for _, row := range rs {
+		r.Line(row.String())
+		r.AddScalar(fmt.Sprintf("rack_outage_analytic.%v", row.Design), row.RackOutageAnalytic, "")
 	}
-	return nil
+	return r, nil
 }

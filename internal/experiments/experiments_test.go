@@ -2,18 +2,15 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func runExp(t *testing.T, name string) string {
 	t.Helper()
-	e, ok := Lookup(name)
-	if !ok {
-		t.Fatalf("experiment %q not registered", name)
-	}
 	var buf bytes.Buffer
-	if err := e.Run(&buf, 42); err != nil {
+	if err := RunText(&buf, name, 42); err != nil {
 		t.Fatalf("%s: %v", name, err)
 	}
 	return buf.String()
@@ -37,6 +34,54 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if _, ok := Lookup("nonsense"); ok {
 		t.Fatal("bogus lookup succeeded")
+	}
+}
+
+func TestSuggest(t *testing.T) {
+	for _, tc := range []struct {
+		in, want string
+		close    bool
+	}{
+		{"figur2", "figure2", true},
+		{"cluser", "cluster", true},
+		{"storge", "storage", true},
+		{"memlatency", "memlat", false}, // distance 4 > limit
+		{"zzzzzz", "", false},
+	} {
+		got, close := Suggest(tc.in)
+		if close != tc.close {
+			t.Errorf("Suggest(%q) close = %v, want %v", tc.in, close, tc.close)
+			continue
+		}
+		if close && got != tc.want {
+			t.Errorf("Suggest(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestScenarioParamsDeclared(t *testing.T) {
+	for _, s := range All() {
+		p := s.NewParams()
+		specs := p.Specs()
+		if specs[0].Name != "seed" {
+			t.Errorf("%s: first param is %q, want seed", s.Name, specs[0].Name)
+		}
+		for _, sp := range specs {
+			if sp.Help == "" {
+				t.Errorf("%s: param %q has no help text", s.Name, sp.Name)
+			}
+		}
+	}
+}
+
+func TestFigure3PayloadValidation(t *testing.T) {
+	s, _ := Lookup("figure3")
+	p := s.NewParams()
+	if err := p.Set("payload", "123"); err == nil {
+		t.Fatal("payload outside the enum accepted")
+	}
+	if err := p.Set("payload", "1500"); err != nil {
+		t.Fatalf("valid payload rejected: %v", err)
 	}
 }
 
@@ -128,11 +173,19 @@ func TestToRlessOutput(t *testing.T) {
 
 func TestFigure3PanelOutput(t *testing.T) {
 	// One small panel (not the full sweep) to keep test time sane.
-	var buf bytes.Buffer
-	if err := Figure3Panel(&buf, 75, 42); err != nil {
+	s, ok := Lookup("figure3")
+	if !ok {
+		t.Fatal("figure3 not registered")
+	}
+	p := s.NewParams()
+	if err := p.Set("payload", "75"); err != nil {
 		t.Fatal(err)
 	}
-	out := buf.String()
+	rep, err := s.Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Text()
 	if !strings.Contains(out, "DDR") || !strings.Contains(out, "CXL") {
 		t.Errorf("figure3 panel missing series:\n%s", out)
 	}

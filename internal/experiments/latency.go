@@ -1,24 +1,26 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"io"
 
 	"cxlpool/internal/core"
 	"cxlpool/internal/cxl"
 	"cxlpool/internal/mem"
 	"cxlpool/internal/metrics"
 	"cxlpool/internal/orch"
+	"cxlpool/internal/params"
 	"cxlpool/internal/pcie"
+	"cxlpool/internal/report"
 	"cxlpool/internal/shm"
 	"cxlpool/internal/sim"
 )
 
-// MemLatency regenerates the §3 idle load-to-use latency ladder: local
-// DDR5, direct (MHD) CXL, and switched CXL, plus the ratios the paper
-// quotes (2-3x for direct CXL; 500-600 ns switched).
-func MemLatency(w io.Writer, seed int64) error {
-	rng := sim.NewRand(seed)
+// runMemLatency regenerates the §3 idle load-to-use latency ladder:
+// local DDR5, direct (MHD) CXL, and switched CXL, plus the ratios the
+// paper quotes (2-3x for direct CXL; 500-600 ns switched).
+func runMemLatency(_ context.Context, p *params.Set) (*report.Report, error) {
+	rng := sim.NewRand(p.Seed())
 	// One probe buffer for every ladder rung; hoisted out of the loop so
 	// 2000 reads per memory class reuse the same 64 B staging slice.
 	buf := make([]byte, 64)
@@ -40,69 +42,80 @@ func MemLatency(w io.Writer, seed int64) error {
 	mhd := cxl.NewMHD("mhd", 0, 1<<20, 3, rng.Fork())
 	direct, err := mhd.Connect(cxl.X16Gen5)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	behind, err := mhd.Connect(cxl.X16Gen5)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sw := cxl.NewSwitch("sw")
 	switched, err := sw.Via(behind, cxl.X16Gen5)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	dLat, err := probe(ddr)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cLat, err := probe(direct)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sLat, err := probe(switched)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
-	fmt.Fprintln(w, "§3: idle load-to-use latency (64 B cacheline reads)")
-	fmt.Fprintln(w, "(paper: DDR5 ~110 ns; direct CXL 2-3x DDR (2.15x measured); switched 500-600 ns)")
-	fmt.Fprintln(w)
-	t := metrics.NewTable("memory class", "latency", "ratio vs DDR", "paper")
-	t.AddRow("local DDR5", fmt.Sprintf("%.0f ns", dLat), "1.0x", "~110 ns")
-	t.AddRow("CXL direct (MHD)", fmt.Sprintf("%.0f ns", cLat), fmt.Sprintf("%.2fx", cLat/dLat), "2-3x DDR")
-	t.AddRow("CXL switched", fmt.Sprintf("%.0f ns", sLat), fmt.Sprintf("%.2fx", sLat/dLat), "500-600 ns")
-	fmt.Fprint(w, t.String())
-	return nil
+	r := newReport("memlat", p)
+	r.Line("§3: idle load-to-use latency (64 B cacheline reads)")
+	r.Line("(paper: DDR5 ~110 ns; direct CXL 2-3x DDR (2.15x measured); switched 500-600 ns)")
+	r.Blank()
+	t := r.AddTable("latency_ladder",
+		report.StrCol("memory class"), report.NumCol("latency"),
+		report.NumCol("ratio vs DDR"), report.StrCol("paper"))
+	t.Row(report.Str("local DDR5"), report.Num(dLat, "%.0f ns"), report.Num(1, "%.1fx"), report.Str("~110 ns"))
+	t.Row(report.Str("CXL direct (MHD)"), report.Num(cLat, "%.0f ns"),
+		report.Num(cLat/dLat, "%.2fx"), report.Str("2-3x DDR"))
+	t.Row(report.Str("CXL switched"), report.Num(sLat, "%.0f ns"),
+		report.Num(sLat/dLat, "%.2fx"), report.Str("500-600 ns"))
+	r.AddScalar("latency_ns.ddr", dLat, "ns")
+	r.AddScalar("latency_ns.cxl_direct", cLat, "ns")
+	r.AddScalar("latency_ns.cxl_switched", sLat, "ns")
+	return r, nil
 }
 
-// Failover regenerates the §4.2 failover experiment: a vNIC's backing
-// device dies mid-traffic; the orchestrator detects the failure through
-// shared-memory health records and remaps. Reports downtime and
-// compares against the PCIe-switch hot-plug flow.
-func Failover(w io.Writer, seed int64) error {
-	const trials = 10
+// runFailover regenerates the §4.2 failover experiment: a vNIC's
+// backing device dies mid-traffic; the orchestrator detects the
+// failure through shared-memory health records and remaps. Reports
+// downtime and compares against the PCIe-switch hot-plug flow.
+func runFailover(_ context.Context, p *params.Set) (*report.Report, error) {
+	trials := p.Int("trials")
 	down := metrics.NewRecorder(trials)
 	for i := 0; i < trials; i++ {
-		d, err := failoverTrial(seed + int64(i))
+		d, err := failoverTrial(p.Seed() + int64(i))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		down.Record(float64(d))
 	}
 	s := down.Summarize()
-	fmt.Fprintln(w, "§4.2: orchestrated failover after NIC failure (10 trials)")
-	fmt.Fprintln(w)
-	t := metrics.NewTable("metric", "value")
-	t.AddRow("downtime p50", fmt.Sprintf("%.0f us", s.P50/1e3))
-	t.AddRow("downtime max", fmt.Sprintf("%.0f us", s.Max/1e3))
-	t.AddRow("detection path", "agent publish (50us) + monitor sweep (100us)")
-	t.AddRow("software remap cost", fmt.Sprintf("%v", core.RemapLatency))
-	t.AddRow("PCIe-switch hot-plug flow", fmt.Sprintf("%v", pcie.ReassignLatency))
-	t.AddRow("advantage", fmt.Sprintf("%.0fx faster than switch reassignment",
-		float64(pcie.ReassignLatency)/s.P50))
-	fmt.Fprint(w, t.String())
-	return nil
+	r := newReport("failover", p)
+	r.Linef("§4.2: orchestrated failover after NIC failure (%d trials)", trials)
+	r.Blank()
+	t := r.AddTable("failover",
+		report.StrCol("metric"), report.StrCol("value"))
+	t.Row(report.Str("downtime p50"), report.Num(s.P50/1e3, "%.0f us"))
+	t.Row(report.Str("downtime max"), report.Num(s.Max/1e3, "%.0f us"))
+	t.Row(report.Str("detection path"), report.Str("agent publish (50us) + monitor sweep (100us)"))
+	t.Row(report.Str("software remap cost"), report.Strf("%v", core.RemapLatency))
+	t.Row(report.Str("PCIe-switch hot-plug flow"), report.Strf("%v", pcie.ReassignLatency))
+	t.Row(report.Str("advantage"), report.Num(float64(pcie.ReassignLatency)/s.P50,
+		"%.0fx faster than switch reassignment"))
+	r.AddScalar("downtime_us.p50", s.P50/1e3, "us")
+	r.AddScalar("downtime_us.max", s.Max/1e3, "us")
+	r.AddScalar("advantage_vs_switch", float64(pcie.ReassignLatency)/s.P50, "x")
+	return r, nil
 }
 
 // failoverTrial runs one failure-recovery cycle and returns downtime
@@ -141,74 +154,77 @@ func failoverTrial(seed int64) (sim.Duration, error) {
 	return sim.Duration(o.FailoverTime.Percentile(50)), nil
 }
 
-// Ablations regenerates the E9 design-choice studies.
-func Ablations(w io.Writer, seed int64) error {
-	fmt.Fprintln(w, "E9 ablations")
-	fmt.Fprintln(w)
+// runAblations regenerates the E9 design-choice studies.
+func runAblations(_ context.Context, p *params.Set) (*report.Report, error) {
+	seed := p.Seed()
+	r := newReport("ablate", p)
+	r.Line("E9 ablations")
+	r.Blank()
 
 	// (1) Coherence strategy for channel publishing.
-	fmt.Fprintln(w, "-- publish strategy (ping-pong one-way latency) --")
-	t := metrics.NewTable("mode", "p50", "p99", "correct")
+	r.Line("-- publish strategy (ping-pong one-way latency) --")
+	t := r.AddTable("publish_strategy",
+		report.StrCol("mode"), report.NumCol("p50"), report.NumCol("p99"), report.StrCol("correct"))
 	for _, mode := range []shm.SendMode{shm.ModeNT, shm.ModeWriteFlush} {
 		res, err := shm.PingPong(shm.PingPongConfig{Messages: 10000, Seed: seed, Mode: mode})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		s := res.OneWay.Summarize()
-		t.AddRow(mode.String(), fmt.Sprintf("%.0f ns", s.P50), fmt.Sprintf("%.0f ns", s.P99), "yes")
+		t.Row(report.Str(mode.String()), report.Num(s.P50, "%.0f ns"), report.Num(s.P99, "%.0f ns"),
+			report.Str("yes"))
 	}
 	if _, err := shm.PingPong(shm.PingPongConfig{Messages: 10, Seed: seed, Mode: shm.ModeWriteOnly}); shm.ErrStale(err) {
-		t.AddRow(shm.ModeWriteOnly.String(), "-", "-", "NO: receiver sees stale memory")
+		t.Row(report.Str(shm.ModeWriteOnly.String()), report.Str("-"), report.Str("-"),
+			report.Str("NO: receiver sees stale memory"))
 	} else {
-		return fmt.Errorf("experiments: write-only mode unexpectedly delivered")
+		return nil, fmt.Errorf("experiments: write-only mode unexpectedly delivered")
 	}
-	fmt.Fprint(w, t.String())
-	fmt.Fprintln(w)
+	r.Blank()
 
 	// (2) MHD-direct vs switched pod.
-	fmt.Fprintln(w, "-- pod construction (ping-pong one-way latency) --")
-	t2 := metrics.NewTable("topology", "p50", "p99")
+	r.Line("-- pod construction (ping-pong one-way latency) --")
+	t2 := r.AddTable("pod_construction",
+		report.StrCol("topology"), report.NumCol("p50"), report.NumCol("p99"))
 	for _, switched := range []bool{false, true} {
 		res, err := shm.PingPong(shm.PingPongConfig{Messages: 10000, Seed: seed, Switched: switched})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		name := "MHD direct"
 		if switched {
 			name = "CXL switch"
 		}
 		s := res.OneWay.Summarize()
-		t2.AddRow(name, fmt.Sprintf("%.0f ns", s.P50), fmt.Sprintf("%.0f ns", s.P99))
+		t2.Row(report.Str(name), report.Num(s.P50, "%.0f ns"), report.Num(s.P99, "%.0f ns"))
 	}
-	fmt.Fprint(w, t2.String())
-	fmt.Fprintln(w)
+	r.Blank()
 
 	// (3) Ring slot size: the paper picks one cacheline.
-	fmt.Fprintln(w, "-- channel slot size (ping-pong one-way latency) --")
-	t3 := metrics.NewTable("slot", "p50", "p99")
+	r.Line("-- channel slot size (ping-pong one-way latency) --")
+	t3 := r.AddTable("slot_size",
+		report.StrCol("slot"), report.NumCol("p50"), report.NumCol("p99"))
 	for _, slotBytes := range []int{64, 128, 256} {
 		res, err := shm.PingPong(shm.PingPongConfig{Messages: 10000, Seed: seed, SlotBytes: slotBytes})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		s := res.OneWay.Summarize()
-		t3.AddRow(fmt.Sprintf("%d B", slotBytes),
-			fmt.Sprintf("%.0f ns", s.P50), fmt.Sprintf("%.0f ns", s.P99))
+		t3.Row(report.Strf("%d B", slotBytes), report.Num(s.P50, "%.0f ns"), report.Num(s.P99, "%.0f ns"))
 	}
-	fmt.Fprint(w, t3.String())
-	fmt.Fprintln(w)
+	r.Blank()
 
 	// (4) Interleaved vs single-link DMA bandwidth.
-	fmt.Fprintln(w, "-- interleaving (4 KiB reads, 2x x8 links) --")
-	if err := interleaveAblation(w, seed); err != nil {
-		return err
+	r.Line("-- interleaving (4 KiB reads, 2x x8 links) --")
+	if err := interleaveAblation(r, seed); err != nil {
+		return nil, err
 	}
-	return nil
+	return r, nil
 }
 
 // interleaveAblation measures sustained read latency under load with
 // and without 256 B interleaving across two x8 links.
-func interleaveAblation(w io.Writer, seed int64) error {
+func interleaveAblation(r *report.Report, seed int64) error {
 	rng := sim.NewRand(seed)
 	mhd0 := cxl.NewMHD("m0", 0, 1<<20, 2, rng.Fork())
 	mhd1 := cxl.NewMHD("m1", 1<<20, 1<<20, 2, rng.Fork())
@@ -249,9 +265,9 @@ func interleaveAblation(w io.Writer, seed int64) error {
 	if err != nil {
 		return err
 	}
-	t := metrics.NewTable("placement", "mean 4K read under 27 GB/s offered")
-	t.AddRow("single x8 link", fmt.Sprintf("%.0f ns", sLat))
-	t.AddRow("256B interleave x2", fmt.Sprintf("%.0f ns", iLat))
-	fmt.Fprint(w, t.String())
+	t := r.AddTable("interleaving",
+		report.StrCol("placement"), report.NumCol("mean 4K read under 27 GB/s offered"))
+	t.Row(report.Str("single x8 link"), report.Num(sLat, "%.0f ns"))
+	t.Row(report.Str("256B interleave x2"), report.Num(iLat, "%.0f ns"))
 	return nil
 }

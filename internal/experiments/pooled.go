@@ -1,43 +1,51 @@
 package experiments
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
-	"io"
 
 	"cxlpool/internal/core"
 	"cxlpool/internal/metrics"
+	"cxlpool/internal/params"
+	"cxlpool/internal/report"
 	"cxlpool/internal/sim"
 )
 
-// PooledNIC is E11: the experiment the paper sketches but does not
+// runPooledNIC is E11: the experiment the paper sketches but does not
 // measure — the end-to-end cost of the *complete* pooled datapath.
 // Figure 3 shows that buffer placement in CXL is nearly free; this
 // experiment adds the rest of §4.1 (descriptor channels, agent
 // polling, remote doorbell forwarding) by comparing request/response
 // RTT through a locally attached NIC against the same flow driven
 // through another host's NIC via the pool.
-func PooledNIC(w io.Writer, seed int64) error {
+func runPooledNIC(_ context.Context, p *params.Set) (*report.Report, error) {
+	seed := p.Seed()
 	local, err := pooledNICTrial(seed, false)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	pooled, err := pooledNICTrial(seed, true)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintln(w, "E11: request/response RTT — local NIC vs pooled (remote) NIC")
-	fmt.Fprintln(w, "(the full §4.1 datapath: CXL buffers + channels + agent forwarding)")
-	fmt.Fprintln(w)
-	t := metrics.NewTable("datapath", "p50", "p99")
+	r := newReport("pooled", p)
+	r.Line("E11: request/response RTT — local NIC vs pooled (remote) NIC")
+	r.Line("(the full §4.1 datapath: CXL buffers + channels + agent forwarding)")
+	r.Blank()
+	t := r.AddTable("rtt",
+		report.StrCol("datapath"), report.NumCol("p50"), report.NumCol("p99"))
 	ls, ps := local.Summarize(), pooled.Summarize()
-	t.AddRow("local NIC (direct)", fmt.Sprintf("%.1f us", ls.P50/1e3), fmt.Sprintf("%.1f us", ls.P99/1e3))
-	t.AddRow("pooled NIC (via host1)", fmt.Sprintf("%.1f us", ps.P50/1e3), fmt.Sprintf("%.1f us", ps.P99/1e3))
-	fmt.Fprint(w, t.String())
-	fmt.Fprintf(w, "\npooling adds %.1f us to p50 (%.0f%%): channel hops + agent polling,\n",
+	t.Row(report.Str("local NIC (direct)"), report.Num(ls.P50/1e3, "%.1f us"), report.Num(ls.P99/1e3, "%.1f us"))
+	t.Row(report.Str("pooled NIC (via host1)"), report.Num(ps.P50/1e3, "%.1f us"), report.Num(ps.P99/1e3, "%.1f us"))
+	r.Blank()
+	r.Linef("pooling adds %.1f us to p50 (%.0f%%): channel hops + agent polling,",
 		(ps.P50-ls.P50)/1e3, 100*(ps.P50-ls.P50)/ls.P50)
-	fmt.Fprintln(w, "microseconds-scale — far below the 50ms PCIe-switch reassignment alternative")
-	return nil
+	r.Line("microseconds-scale — far below the 50ms PCIe-switch reassignment alternative")
+	r.AddScalar("rtt_us.local.p50", ls.P50/1e3, "us")
+	r.AddScalar("rtt_us.pooled.p50", ps.P50/1e3, "us")
+	r.AddScalar("pooling_tax_us.p50", (ps.P50-ls.P50)/1e3, "us")
+	return r, nil
 }
 
 // pooledNICTrial measures RTT over the vNIC datapath. remote selects

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"cxlpool/internal/report"
+)
+
+// TestJSONRoundTripMatchesText is the Scenario API's lossless-ness
+// pin: for every registered scenario at the default seed, marshaling
+// the report to JSON, parsing it back, and rendering text must be
+// byte-identical to rendering the original report directly. If this
+// holds, any JSON consumer can reconstruct exactly what the CLI
+// printed — the structured form is a superset of the text form.
+func TestJSONRoundTripMatchesText(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in -short mode")
+	}
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			rep, err := s.RunDefault(context.Background(), 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct := rep.Text()
+			data, err := json.Marshal(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back report.Report
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatal(err)
+			}
+			if got := back.Text(); got != direct {
+				t.Fatalf("JSON round-trip text diverges for %s:\ndirect:\n%s\nround-trip:\n%s",
+					s.Name, direct, got)
+			}
+			if back.Scenario != s.Name {
+				t.Fatalf("scenario name lost: %q", back.Scenario)
+			}
+			if back.Meta.Seed != 42 {
+				t.Fatalf("seed lost: %d", back.Meta.Seed)
+			}
+		})
+	}
+}
+
+// Every scenario's report must carry its effective parameters in
+// declaration order — the metadata sweep records key on.
+func TestReportMetaCarriesParams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in -short mode")
+	}
+	s, _ := Lookup("figure2")
+	rep, err := s.RunDefault(context.Background(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Meta.Params) != 2 ||
+		rep.Meta.Params[0] != (report.Param{Name: "seed", Value: "7"}) ||
+		rep.Meta.Params[1] != (report.Param{Name: "hosts", Value: "2000"}) {
+		t.Fatalf("figure2 meta params = %+v", rep.Meta.Params)
+	}
+}

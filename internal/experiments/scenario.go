@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+
+	"cxlpool/internal/params"
+	"cxlpool/internal/report"
+	"cxlpool/internal/runner"
+)
+
+// Scenario is one runnable artifact reproduction behind the typed
+// Scenario API: a declared parameter surface plus a run function that
+// produces a structured report. The CLI's flags, usage text, sweep
+// axes, and run metadata are all generated from the declaration — the
+// per-experiment switch in cmd/cxlpool is gone.
+type Scenario struct {
+	// Name is the registry key (`cxlpool <name>`).
+	Name string
+	// Paper is the artifact the scenario regenerates.
+	Paper string
+	// Params declares the scenario-specific parameters. The reserved
+	// "seed" parameter is prepended automatically; declaring it here
+	// panics in NewParams.
+	Params []params.Spec
+	// Run executes the scenario. It must be a pure function of p on a
+	// private simulation engine: same params, same report, any machine.
+	Run func(ctx context.Context, p *params.Set) (*report.Report, error)
+}
+
+// seedSpec is the parameter every scenario shares.
+func seedSpec() params.Spec {
+	return params.Spec{Name: "seed", Kind: params.Int, Def: "42", Help: "simulation seed"}
+}
+
+// NewParams returns the scenario's parameter set at its defaults
+// (seed first, then the declared specs).
+func (s Scenario) NewParams() *params.Set {
+	specs := make([]params.Spec, 0, len(s.Params)+1)
+	specs = append(specs, seedSpec())
+	specs = append(specs, s.Params...)
+	return params.New(specs...)
+}
+
+// RunDefault runs the scenario with default parameters at the given
+// seed — the `cxlpool all` path.
+func (s Scenario) RunDefault(ctx context.Context, seed int64) (*report.Report, error) {
+	p := s.NewParams()
+	if err := p.Set("seed", strconv.FormatInt(seed, 10)); err != nil {
+		return nil, err
+	}
+	return s.Run(ctx, p)
+}
+
+// newReport starts a scenario's report with run metadata filled from
+// the effective parameter set.
+func newReport(name string, p *params.Set) *report.Report {
+	title := ""
+	if s, ok := Lookup(name); ok {
+		title = s.Paper
+	}
+	vals := p.Values()
+	ps := make([]report.Param, 0, len(vals))
+	for _, kv := range vals {
+		ps = append(ps, report.Param{Name: kv.Name, Value: kv.Value})
+	}
+	return report.New(name, title, p.Seed(), ps)
+}
+
+// Lookup finds a scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Suggest returns the registry name closest to the (unknown) input by
+// Levenshtein edit distance, for the CLI's "did you mean" hint. The
+// boolean is false when nothing is plausibly close (distance > 3 and
+// more than half the input's length).
+func Suggest(name string) (string, bool) {
+	best, bestDist := "", int(^uint(0)>>1)
+	for _, s := range All() {
+		if d := editDistance(name, s.Name); d < bestDist {
+			best, bestDist = s.Name, d
+		}
+	}
+	limit := 3
+	if l := len(name) / 2; l < limit {
+		limit = l
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	return best, bestDist <= limit
+}
+
+// editDistance is the classic two-row Levenshtein distance.
+func editDistance(a, b string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1              // deletion
+			if v := cur[j-1] + 1; v < m { // insertion
+				m = v
+			}
+			if v := prev[j-1] + cost; v < m { // substitution
+				m = v
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// RunText runs a registered scenario at default parameters and renders
+// its report as text — the single-experiment legacy surface.
+func RunText(w io.Writer, name string, seed int64) error {
+	s, ok := Lookup(name)
+	if !ok {
+		return fmt.Errorf("experiments: unknown scenario %q", name)
+	}
+	rep, err := s.RunDefault(context.Background(), seed)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, rep.Text())
+	return err
+}
+
+// RunAll runs every registered scenario at default parameters and
+// writes each one's banner and text rendering to w in registry order.
+// Scenarios fan out across at most workers goroutines (<= 0 means
+// GOMAXPROCS); because each scenario is a pure function of its params
+// on a private engine, the bytes written are identical for any worker
+// count, including 1.
+func RunAll(w io.Writer, seed int64, workers int) error {
+	all := All()
+	tasks := make([]runner.Task, len(all))
+	for i, s := range all {
+		s := s
+		tasks[i] = runner.Task{
+			Name: s.Name,
+			Run: func(tw io.Writer) error {
+				fmt.Fprintf(tw, "================ %s — %s ================\n", s.Name, s.Paper)
+				rep, err := s.RunDefault(context.Background(), seed)
+				if err != nil {
+					return err
+				}
+				if _, err := io.WriteString(tw, rep.Text()); err != nil {
+					return err
+				}
+				fmt.Fprintln(tw)
+				return nil
+			},
+		}
+	}
+	return runner.Pool{Workers: workers}.Stream(w, tasks)
+}
+
+// RunAllReports runs every scenario at default parameters and returns
+// the structured reports in registry order — the `-format json|csv`
+// path. Same purity/determinism contract as RunAll.
+func RunAllReports(ctx context.Context, seed int64, workers int) ([]*report.Report, error) {
+	all := All()
+	reps := make([]*report.Report, len(all))
+	err := runner.Pool{Workers: workers}.ForEach(len(all), func(i int) error {
+		rep, err := all[i].RunDefault(ctx, seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", all[i].Name, err)
+		}
+		reps[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reps, nil
+}

@@ -1,32 +1,38 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"io"
+	"strings"
 
 	"cxlpool/internal/core"
 	"cxlpool/internal/cxl"
 	"cxlpool/internal/mem"
-	"cxlpool/internal/metrics"
 	"cxlpool/internal/netsim"
 	"cxlpool/internal/nicsim"
 	"cxlpool/internal/nvmeof"
+	"cxlpool/internal/params"
+	"cxlpool/internal/report"
 	"cxlpool/internal/sim"
 	"cxlpool/internal/ssdsim"
 )
 
-// Storage is E12: the paper's §1/§5 storage-disaggregation argument
+// runStorage is E12: the paper's §1/§5 storage-disaggregation argument
 // made quantitative. 4 KiB reads against the same device model through
 // three datapaths — locally attached, CXL-pooled (this paper's design),
 // and NVMe-oF over the rack network (the incumbent) — for both TLC
 // NAND and fast storage-class media. The paper's claim: "RDMA latency
 // is too high" to replace local SSDs, and it only gets worse as media
 // gets faster; CXL pooling stays within a few percent of local.
-func Storage(w io.Writer, seed int64) error {
-	fmt.Fprintln(w, "E12: 4K read latency — local vs CXL-pooled vs NVMe-oF")
-	fmt.Fprintln(w, "(§1: 'RDMA latency is too high; all cloud providers still offer host-local SSDs')")
-	fmt.Fprintln(w)
-	t := metrics.NewTable("media", "local", "CXL pool", "NVMe-oF", "CXL tax", "fabric tax")
+func runStorage(_ context.Context, p *params.Set) (*report.Report, error) {
+	seed := p.Seed()
+	r := newReport("storage", p)
+	r.Line("E12: 4K read latency — local vs CXL-pooled vs NVMe-oF")
+	r.Line("(§1: 'RDMA latency is too high; all cloud providers still offer host-local SSDs')")
+	r.Blank()
+	t := r.AddTable("read_latency",
+		report.StrCol("media"), report.NumCol("local"), report.NumCol("CXL pool"),
+		report.NumCol("NVMe-oF"), report.NumCol("CXL tax"), report.NumCol("fabric tax"))
 	for _, m := range []struct {
 		name  string
 		media ssdsim.Media
@@ -36,26 +42,30 @@ func Storage(w io.Writer, seed int64) error {
 	} {
 		local, err := storageLocal(seed, m.media)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		pooled, err := storagePooled(seed, m.media)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fabric, err := storageFabric(seed, m.media)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		t.AddRow(m.name,
-			fmt.Sprintf("%.1f us", local/1e3),
-			fmt.Sprintf("%.1f us", pooled/1e3),
-			fmt.Sprintf("%.1f us", fabric/1e3),
-			fmt.Sprintf("+%.0f%%", 100*(pooled-local)/local),
-			fmt.Sprintf("+%.0f%%", 100*(fabric-local)/local))
+		t.Row(report.Str(m.name),
+			report.Num(local/1e3, "%.1f us"),
+			report.Num(pooled/1e3, "%.1f us"),
+			report.Num(fabric/1e3, "%.1f us"),
+			report.Num(100*(pooled-local)/local, "+%.0f%%"),
+			report.Num(100*(fabric-local)/local, "+%.0f%%"))
+		key := strings.ReplaceAll(strings.ToLower(m.name), " ", "_")
+		r.AddScalar("read_us."+key+".local", local/1e3, "us")
+		r.AddScalar("read_us."+key+".cxl_pool", pooled/1e3, "us")
+		r.AddScalar("read_us."+key+".nvmeof", fabric/1e3, "us")
 	}
-	fmt.Fprint(w, t.String())
-	fmt.Fprintln(w, "\nCXL pooling tracks local latency; the network tax grows as media gets faster.")
-	return nil
+	r.Blank()
+	r.Line("CXL pooling tracks local latency; the network tax grows as media gets faster.")
+	return r, nil
 }
 
 const storageTrials = 40

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"cxlpool/internal/params"
+	"cxlpool/internal/report"
+	"cxlpool/internal/runner"
+)
+
+// ErrInvalidSweep wraps every validation failure Sweep detects before
+// any point runs (unknown axis, out-of-bounds value, duplicate axis,
+// no axes). Callers use it to distinguish usage errors (exit 2) from
+// runtime failures inside a point (exit 1).
+var ErrInvalidSweep = errors.New("invalid sweep")
+
+// Axis is one sweep dimension: a declared parameter name and the
+// values to visit.
+type Axis struct {
+	Name   string
+	Values []string
+}
+
+// SweepPoint is one cell of a sweep's cross-product: the axis values
+// that produced it (in axis order) and the structured report.
+type SweepPoint struct {
+	Overrides []params.KV
+	Report    *report.Report
+}
+
+// Sweep runs the cross-product of the axes over the scenario, starting
+// from base (cloned per point, never mutated). Points enumerate in
+// odometer order — the last axis varies fastest — and run across the
+// runner's worker pool with results slotted back by index, so the
+// returned slice is identical for any worker count. Every axis value
+// is validated against the scenario's parameter declarations before
+// anything runs, so a typo fails fast instead of after minutes of
+// simulation.
+func Sweep(ctx context.Context, s Scenario, base *params.Set, axes []Axis, workers int) ([]SweepPoint, error) {
+	if len(axes) == 0 {
+		return nil, fmt.Errorf("experiments: sweep needs at least one -set axis: %w", ErrInvalidSweep)
+	}
+	total := 1
+	seen := make(map[string]bool, len(axes))
+	for _, ax := range axes {
+		// A parameter may appear on one axis only: with duplicates, the
+		// odometer would apply one value while Overrides recorded both,
+		// mislabeling every emitted record.
+		if seen[ax.Name] {
+			return nil, fmt.Errorf("experiments: sweep axis %q given twice: %w", ax.Name, ErrInvalidSweep)
+		}
+		seen[ax.Name] = true
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("experiments: sweep axis %q has no values: %w", ax.Name, ErrInvalidSweep)
+		}
+		probe := base.Clone()
+		for _, v := range ax.Values {
+			if err := probe.Set(ax.Name, v); err != nil {
+				return nil, fmt.Errorf("experiments: sweep %s: %w: %w", s.Name, err, ErrInvalidSweep)
+			}
+		}
+		total *= len(ax.Values)
+	}
+	pts := make([]SweepPoint, total)
+	err := runner.Pool{Workers: workers}.ForEach(total, func(i int) error {
+		p := base.Clone()
+		overrides := make([]params.KV, len(axes))
+		// Decode i into per-axis indices, last axis fastest.
+		rem := i
+		for a := len(axes) - 1; a >= 0; a-- {
+			ax := axes[a]
+			v := ax.Values[rem%len(ax.Values)]
+			rem /= len(ax.Values)
+			overrides[a] = params.KV{Name: ax.Name, Value: v}
+			if err := p.Set(ax.Name, v); err != nil {
+				return err
+			}
+		}
+		rep, err := s.Run(ctx, p)
+		if err != nil {
+			return fmt.Errorf("point %d (%v): %w", i, overrides, err)
+		}
+		pts[i] = SweepPoint{Overrides: overrides, Report: rep}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pts, nil
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func figure2Axes(values ...string) []Axis {
+	return []Axis{{Name: "hosts", Values: values}}
+}
+
+func TestSweepCrossProductOrder(t *testing.T) {
+	s, _ := Lookup("figure2")
+	pts, err := Sweep(context.Background(), s, s.NewParams(),
+		[]Axis{{Name: "hosts", Values: []string{"100", "200"}}, {Name: "seed", Values: []string{"1", "2", "3"}}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("cross product yielded %d points, want 6", len(pts))
+	}
+	// Odometer order: last axis fastest.
+	want := [][2]string{{"100", "1"}, {"100", "2"}, {"100", "3"}, {"200", "1"}, {"200", "2"}, {"200", "3"}}
+	for i, pt := range pts {
+		if pt.Overrides[0].Value != want[i][0] || pt.Overrides[1].Value != want[i][1] {
+			t.Fatalf("point %d overrides = %v, want hosts=%s seed=%s", i, pt.Overrides, want[i][0], want[i][1])
+		}
+		if pt.Report == nil {
+			t.Fatalf("point %d has no report", i)
+		}
+		// The report's metadata must reflect the overridden values.
+		if !strings.Contains(pt.Report.Text(), "on "+want[i][0]+" hosts") {
+			t.Fatalf("point %d report does not reflect hosts=%s:\n%s", i, want[i][0], pt.Report.Text())
+		}
+	}
+}
+
+// Sweep output must be identical at any worker count: each point is a
+// pure function of its params and results slot back by index.
+func TestSweepWorkerDeterminism(t *testing.T) {
+	s, _ := Lookup("figure2")
+	render := func(workers int) string {
+		pts, err := Sweep(context.Background(), s, s.NewParams(), figure2Axes("100", "200", "400"), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, pt := range pts {
+			b.WriteString(pt.Report.Text())
+		}
+		return b.String()
+	}
+	seq := render(1)
+	for _, w := range []int{0, 4} {
+		if got := render(w); got != seq {
+			t.Fatalf("workers=%d sweep output diverges from sequential", w)
+		}
+	}
+}
+
+func TestSweepValidatesBeforeRunning(t *testing.T) {
+	s, _ := Lookup("figure2")
+	for name, axes := range map[string][]Axis{
+		"non-numeric value": figure2Axes("100", "nope"),
+		"unknown axis":      {{Name: "bogus", Values: []string{"1"}}},
+		"empty axis list":   nil,
+		"duplicate axis":    {{Name: "hosts", Values: []string{"100"}}, {Name: "hosts", Values: []string{"200"}}},
+	} {
+		_, err := Sweep(context.Background(), s, s.NewParams(), axes, 1)
+		if err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+		// Pre-run validation failures must be recognizable as usage
+		// errors (the CLI exits 2 on them, 1 on runtime failures).
+		if !errors.Is(err, ErrInvalidSweep) {
+			t.Fatalf("%s error %v does not wrap ErrInvalidSweep", name, err)
+		}
+	}
+	// The base set must not be mutated by a sweep.
+	base := s.NewParams()
+	if _, err := Sweep(context.Background(), s, base, figure2Axes("100"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if base.Int("hosts") != 2000 {
+		t.Fatalf("sweep mutated base params: hosts = %d", base.Int("hosts"))
+	}
+}

@@ -1,6 +1,10 @@
 package metrics
 
-import "testing"
+import (
+	"testing"
+
+	"cxlpool/internal/report"
+)
 
 func TestCounterSetOrderAndTotals(t *testing.T) {
 	s := NewCounterSet()
@@ -29,5 +33,27 @@ func TestCounterSetOrderAndTotals(t *testing.T) {
 	}
 	if got := s.String(); got != "rack2=0 rack0=5 rack1=1" {
 		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestCounterSetFeedsReport(t *testing.T) {
+	s := NewCounterSet()
+	s.Add("rack1", 7)
+	s.Add("rack0", 2)
+
+	r := report.New("demo", "t", 1, nil)
+	s.AppendScalars(r, "migrations.")
+	if len(r.Scalars) != 2 ||
+		r.Scalars[0].Name != "migrations.rack1" || r.Scalars[0].Value != 7 ||
+		r.Scalars[1].Name != "migrations.rack0" || r.Scalars[1].Value != 2 {
+		t.Fatalf("AppendScalars = %+v (want first-Add order)", r.Scalars)
+	}
+
+	tb := s.ReportTable("migrations")
+	if len(tb.Rows) != 2 || tb.Rows[0][0].Text != "rack1" || tb.Rows[0][1].Num != 7 {
+		t.Fatalf("ReportTable rows = %+v", tb.Rows)
+	}
+	if tb.Rows[1][1].Text != "2" {
+		t.Fatalf("count cell text = %q, want rendered integer", tb.Rows[1][1].Text)
 	}
 }

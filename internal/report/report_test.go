@@ -1,0 +1,189 @@
+package report
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// readSchemaFile loads the committed wire-format schema from the repo
+// root.
+func readSchemaFile(t *testing.T) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "schema", "report.schema.json"))
+	if err != nil {
+		t.Fatalf("read committed schema: %v", err)
+	}
+	return data
+}
+
+func sampleReport() *Report {
+	r := New("demo", "Demo artifact", 7, []Param{{Name: "seed", Value: "7"}, {Name: "hosts", Value: "10"}})
+	r.Line("header line")
+	r.Blank()
+	t := r.AddTable("stats", StrCol("name"), NumCol("value"))
+	t.Row(Str("alpha"), Num(1.25, "%.2f"))
+	t.Row(Str("beta"), Num(2, "%.0f ns"))
+	t.Row(Str("gamma"), Str("-"))
+	r.Blank()
+	r.Linef("trailer %d", 42)
+	r.AddScalar("total", 3.25, "units")
+	r.AddSeries(Series{Name: "curve", XLabel: "x", YLabel: "y",
+		Points: [][2]float64{{1, 2}, {3, 4}}})
+	return r
+}
+
+// The fixed-width rendering must match the repository's historical
+// table layout exactly: two-space separators, dashed header rule, and
+// every cell (including the last) padded to column width.
+func TestTextRendering(t *testing.T) {
+	got := sampleReport().Text()
+	want := strings.Join([]string{
+		"header line",
+		"",
+		"name   value",
+		"-----  -----",
+		"alpha  1.25 ",
+		"beta   2 ns ",
+		"gamma  -    ",
+		"",
+		"trailer 42",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("text rendering mismatch:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestJSONRoundTripIsTextIdentical(t *testing.T) {
+	orig := sampleReport()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Text() != orig.Text() {
+		t.Fatalf("round-trip text diverges:\norig:\n%s\nback:\n%s", orig.Text(), back.Text())
+	}
+	if len(back.Scalars) != 1 || back.Scalars[0].Value != 3.25 {
+		t.Fatalf("scalars lost in round trip: %+v", back.Scalars)
+	}
+	if len(back.Series) != 1 || len(back.Series[0].Points) != 2 {
+		t.Fatalf("series lost in round trip: %+v", back.Series)
+	}
+	if back.Meta.Seed != 7 || len(back.Meta.Params) != 2 {
+		t.Fatalf("meta lost in round trip: %+v", back.Meta)
+	}
+}
+
+func TestNumericCellsCarryValues(t *testing.T) {
+	r := sampleReport()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	// blocks[1] is the table; rows[0][1] must carry num: 1.25.
+	blocks := doc["blocks"].([]any)
+	table := blocks[1].(map[string]any)
+	row0 := table["rows"].([]any)[0].([]any)
+	cell := row0[1].(map[string]any)
+	if cell["num"] != 1.25 {
+		t.Fatalf("numeric cell lost raw value: %v", cell)
+	}
+	if cell["text"] != "1.25" {
+		t.Fatalf("numeric cell lost rendered text: %v", cell)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	got := sampleReport().CSV()
+	lines := strings.Split(strings.TrimSuffix(got, "\n"), "\n")
+	if lines[0] != CSVHeader {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	// 6 cells + 1 scalar.
+	if len(lines) != 1+6+1 {
+		t.Fatalf("csv has %d records, want 7:\n%s", len(lines)-1, got)
+	}
+	if !strings.Contains(got, "demo,stats,0,value,1.25,1.25") {
+		t.Fatalf("csv missing numeric record:\n%s", got)
+	}
+	if !strings.Contains(got, "demo,scalars,,total,units,3.25") {
+		t.Fatalf("csv missing scalar record:\n%s", got)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	r := New("q", "t", 1, nil)
+	tb := r.AddTable("x", StrCol("a"))
+	tb.Row(Str(`with "quotes", commas`))
+	if !strings.Contains(r.CSV(), `"with ""quotes"", commas"`) {
+		t.Fatalf("csv quoting broken:\n%s", r.CSV())
+	}
+}
+
+func TestValidateJSON(t *testing.T) {
+	schema := []byte(`{
+		"type": "array",
+		"minItems": 1,
+		"items": {"$ref": "#/$defs/thing"},
+		"$defs": {
+			"thing": {
+				"type": "object",
+				"required": ["name"],
+				"additionalProperties": false,
+				"properties": {
+					"name": {"type": "string"},
+					"kind": {"type": "string", "enum": ["a", "b"]},
+					"n": {"type": "integer"}
+				}
+			}
+		}
+	}`)
+	for _, tc := range []struct {
+		doc  string
+		ok   bool
+		name string
+	}{
+		{`[{"name": "x", "kind": "a", "n": 3}]`, true, "valid"},
+		{`[]`, false, "minItems"},
+		{`[{"kind": "a"}]`, false, "missing required"},
+		{`[{"name": "x", "kind": "c"}]`, false, "enum"},
+		{`[{"name": "x", "extra": 1}]`, false, "additionalProperties"},
+		{`[{"name": "x", "n": 3.5}]`, false, "integer"},
+		{`{"name": "x"}`, false, "root type"},
+	} {
+		err := ValidateJSON(schema, []byte(tc.doc))
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid document accepted", tc.name)
+		}
+	}
+	// Unknown keywords must be rejected, not ignored.
+	if err := ValidateJSON([]byte(`{"type":"string","pattern":"x"}`), []byte(`"y"`)); err == nil {
+		t.Error("unsupported schema keyword silently ignored")
+	}
+}
+
+// The committed schema must accept what Report actually marshals.
+func TestSampleReportMatchesCommittedSchema(t *testing.T) {
+	schema := readSchemaFile(t)
+	data, err := json.Marshal([]*Report{sampleReport()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateJSON(schema, data); err != nil {
+		t.Fatalf("sample report violates committed schema: %v", err)
+	}
+}

@@ -1,0 +1,207 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ValidateJSON checks doc against a JSON Schema (draft-agnostic subset:
+// type, enum, required, properties, additionalProperties, items,
+// minItems, and local "$ref": "#/$defs/<name>" references — exactly
+// the vocabulary schema/report.schema.json uses). The repository takes
+// no external dependencies, so the validator is grown in-tree; it
+// rejects schemas that use keywords outside the subset rather than
+// silently ignoring them.
+func ValidateJSON(schema, doc []byte) error {
+	var sc any
+	if err := json.Unmarshal(schema, &sc); err != nil {
+		return fmt.Errorf("report: schema is not valid JSON: %w", err)
+	}
+	var d any
+	if err := json.Unmarshal(doc, &d); err != nil {
+		return fmt.Errorf("report: document is not valid JSON: %w", err)
+	}
+	root, ok := sc.(map[string]any)
+	if !ok {
+		return fmt.Errorf("report: schema root must be an object")
+	}
+	v := &schemaValidator{root: root}
+	return v.validate(root, d, "$")
+}
+
+type schemaValidator struct {
+	root map[string]any
+}
+
+// known is the supported keyword set; $schema/$id/title/description/
+// $defs are annotations and structure, not constraints.
+var knownKeywords = map[string]bool{
+	"$schema": true, "$id": true, "title": true, "description": true,
+	"$defs": true, "$ref": true, "type": true, "enum": true,
+	"required": true, "properties": true, "additionalProperties": true,
+	"items": true, "minItems": true,
+}
+
+func (v *schemaValidator) resolve(s map[string]any) (map[string]any, error) {
+	ref, ok := s["$ref"].(string)
+	if !ok {
+		return s, nil
+	}
+	const prefix = "#/$defs/"
+	if !strings.HasPrefix(ref, prefix) {
+		return nil, fmt.Errorf("report: unsupported $ref %q (only %s<name>)", ref, prefix)
+	}
+	defs, _ := v.root["$defs"].(map[string]any)
+	d, ok := defs[strings.TrimPrefix(ref, prefix)]
+	if !ok {
+		return nil, fmt.Errorf("report: dangling $ref %q", ref)
+	}
+	ds, ok := d.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("report: $ref %q is not an object schema", ref)
+	}
+	return ds, nil
+}
+
+func (v *schemaValidator) validate(schema map[string]any, doc any, path string) error {
+	schema, err := v.resolve(schema)
+	if err != nil {
+		return err
+	}
+	for k := range schema {
+		if !knownKeywords[k] {
+			return fmt.Errorf("report: schema keyword %q at %s outside supported subset", k, path)
+		}
+	}
+	if t, ok := schema["type"]; ok {
+		if err := checkType(t, doc, path); err != nil {
+			return err
+		}
+	}
+	if enum, ok := schema["enum"].([]any); ok {
+		found := false
+		for _, e := range enum {
+			if jsonEqual(e, doc) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%s: value %v not in enum %v", path, doc, enum)
+		}
+	}
+	if obj, ok := doc.(map[string]any); ok {
+		if req, ok := schema["required"].([]any); ok {
+			for _, r := range req {
+				name, _ := r.(string)
+				if _, present := obj[name]; !present {
+					return fmt.Errorf("%s: missing required property %q", path, name)
+				}
+			}
+		}
+		props, _ := schema["properties"].(map[string]any)
+		for name, val := range obj {
+			ps, declared := props[name]
+			if declared {
+				pschema, ok := ps.(map[string]any)
+				if !ok {
+					return fmt.Errorf("%s: property schema for %q is not an object", path, name)
+				}
+				if err := v.validate(pschema, val, path+"."+name); err != nil {
+					return err
+				}
+				continue
+			}
+			if ap, ok := schema["additionalProperties"].(bool); ok && !ap {
+				return fmt.Errorf("%s: unexpected property %q", path, name)
+			}
+			if aps, ok := schema["additionalProperties"].(map[string]any); ok {
+				if err := v.validate(aps, val, path+"."+name); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if arr, ok := doc.([]any); ok {
+		if mi, ok := schema["minItems"].(float64); ok && float64(len(arr)) < mi {
+			return fmt.Errorf("%s: %d items, need at least %g", path, len(arr), mi)
+		}
+		if items, ok := schema["items"].(map[string]any); ok {
+			for i, el := range arr {
+				if err := v.validate(items, el, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkType(t any, doc any, path string) error {
+	var names []string
+	switch tt := t.(type) {
+	case string:
+		names = []string{tt}
+	case []any:
+		for _, n := range tt {
+			s, _ := n.(string)
+			names = append(names, s)
+		}
+	default:
+		return fmt.Errorf("%s: malformed type keyword %v", path, t)
+	}
+	for _, n := range names {
+		if typeMatches(n, doc) {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s: value %v is not of type %v", path, doc, names)
+}
+
+func typeMatches(name string, doc any) bool {
+	switch name {
+	case "object":
+		_, ok := doc.(map[string]any)
+		return ok
+	case "array":
+		_, ok := doc.([]any)
+		return ok
+	case "string":
+		_, ok := doc.(string)
+		return ok
+	case "number":
+		_, ok := doc.(float64)
+		return ok
+	case "integer":
+		f, ok := doc.(float64)
+		return ok && f == math.Trunc(f)
+	case "boolean":
+		_, ok := doc.(bool)
+		return ok
+	case "null":
+		return doc == nil
+	}
+	return false
+}
+
+func jsonEqual(a, b any) bool {
+	switch av := a.(type) {
+	case string:
+		bv, ok := b.(string)
+		return ok && av == bv
+	case float64:
+		bv, ok := b.(float64)
+		return ok && av == bv
+	case bool:
+		bv, ok := b.(bool)
+		return ok && av == bv
+	case nil:
+		return b == nil
+	}
+	// Composite enum members don't appear in our schemas.
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	return string(aj) == string(bj)
+}

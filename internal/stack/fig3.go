@@ -2,11 +2,13 @@ package stack
 
 import (
 	"fmt"
+	"strconv"
 
 	"cxlpool/internal/cxl"
 	"cxlpool/internal/mem"
 	"cxlpool/internal/netsim"
 	"cxlpool/internal/nicsim"
+	"cxlpool/internal/params"
 	"cxlpool/internal/runner"
 	"cxlpool/internal/sim"
 )
@@ -216,6 +218,29 @@ func Figure3Sweep(payload int, loadsMOPS []float64, duration sim.Duration, seed 
 		return nil, nil, err
 	}
 	return ddr, cxlSeries, nil
+}
+
+// Figure3ParamSpecs declares the panel sweep's parameter surface — the
+// Scenario API generates the CLI flags, usage text, and sweep axes for
+// the figure3 scenario from this declaration.
+func Figure3ParamSpecs() []params.Spec {
+	return []params.Spec{{
+		Name: "payload", Kind: params.String, Def: "all",
+		Enum: []string{"75", "1500", "9000", "all"},
+		Help: "UDP payload bytes for one panel, or all panels",
+	}}
+}
+
+// Figure3SweepParams runs one panel from a validated parameter set:
+// "payload" must hold a single size (not "all" — the caller expands
+// that into per-panel clones) and "seed" drives every point. Loads
+// and horizon take the panel defaults.
+func Figure3SweepParams(p *params.Set) (ddr, cxlSeries []Figure3Point, err error) {
+	payload, err := strconv.Atoi(p.Str("payload"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("stack: payload %q is not a single size", p.Str("payload"))
+	}
+	return Figure3Sweep(payload, DefaultLoads(payload), 10*sim.Millisecond, p.Seed())
 }
 
 // DefaultLoads returns the standard sweep for a payload size, spanning
