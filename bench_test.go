@@ -20,6 +20,7 @@ import (
 	"cxlpool/internal/sim"
 	"cxlpool/internal/stack"
 	"cxlpool/internal/stranding"
+	"cxlpool/internal/topo"
 	"cxlpool/internal/torless"
 	"cxlpool/internal/workload"
 )
@@ -249,8 +250,7 @@ func BenchmarkVNICRemoteDatapath(b *testing.B) {
 func BenchmarkClusterFederation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c, err := cluster.New(cluster.Config{
-			Racks:          4,
-			TenantsPerRack: 6,
+			TenantsPerRack: 6, // default topology: one row of four racks
 			Seed:           int64(i),
 			Federate:       true,
 			Skew:           workload.RackSkew{HotFactor: 12, Period: 2},
@@ -263,6 +263,36 @@ func BenchmarkClusterFederation(b *testing.B) {
 		}
 		if _, _, mig, _ := c.Counters(); mig.Total() == 0 {
 			b.Fatal("federation cycle moved nothing")
+		}
+	}
+}
+
+// BenchmarkMultiRow is the fleet-topology bench: a 2-row x 4-rack
+// cluster under the same rotating hotspot, with placement ranking
+// spill targets by path hops and every move charged by path
+// aggregation over the topology tree (E15's scenario shape).
+func BenchmarkMultiRow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tp, err := topo.MultiRow(2, 4, topo.RackSpec{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := cluster.New(cluster.Config{
+			Topo:           tp,
+			TenantsPerRack: 6,
+			Seed:           int64(i),
+			Federate:       true,
+			Epoch:          sim.Millisecond,
+			Skew:           workload.RackSkew{HotFactor: 12, Period: 2},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Run(4); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, mig, _ := c.Counters(); mig.Total() == 0 {
+			b.Fatal("fleet cycle moved nothing")
 		}
 	}
 }

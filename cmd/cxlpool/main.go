@@ -236,6 +236,18 @@ func runSweep(args []string) {
 		fatalf(2, "cxlpool: sweep: need at least one -set param=v1,v2,...")
 	}
 	base := s.NewParams()
+	// Unknown axis names get the same did-you-mean treatment as unknown
+	// scenario names, against the scenario's declared parameters.
+	for _, ax := range axes {
+		if base.Has(ax.Name) {
+			continue
+		}
+		if hint, close := experiments.SuggestParam(s, ax.Name); close {
+			fatalf(2, "cxlpool: sweep: %s has no parameter %q (did you mean %q? see `cxlpool help`)",
+				s.Name, ax.Name, hint)
+		}
+		fatalf(2, "cxlpool: sweep: %s has no parameter %q (see `cxlpool help`)", s.Name, ax.Name)
+	}
 	if err := base.Set("seed", fmt.Sprint(*seed)); err != nil {
 		fatalf(2, "cxlpool: sweep: %v", err)
 	}

@@ -5,10 +5,17 @@
 //
 //	go run ./cmd/cxlpool all -format json | go run ./cmd/schemacheck schema/report.schema.json
 //
+// With -item the document is one element of the schema's stream — the
+// shape a single-scenario run emits — and is validated as a one-report
+// stream against the same schema:
+//
+//	go run ./cmd/cxlpool multirow -format json | go run ./cmd/schemacheck -item schema/report.schema.json
+//
 // Exit status: 0 valid, 1 invalid or unreadable input, 2 usage.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -17,11 +24,16 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: schemacheck <schema.json> < document.json")
+	item := flag.Bool("item", false, "validate stdin as one element of the schema's array")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: schemacheck [-item] <schema.json> < document.json")
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	schema, err := os.ReadFile(os.Args[1])
+	schema, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "schemacheck: %v\n", err)
 		os.Exit(1)
@@ -31,9 +43,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "schemacheck: read stdin: %v\n", err)
 		os.Exit(1)
 	}
-	if err := report.ValidateJSON(schema, doc); err != nil {
+	checked := doc
+	if *item {
+		// A JSON value wrapped in brackets is a one-element array of it.
+		checked = append(append([]byte{'['}, doc...), ']')
+	}
+	if err := report.ValidateJSON(schema, checked); err != nil {
 		fmt.Fprintf(os.Stderr, "schemacheck: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("schemacheck: ok (%d bytes against %s)\n", len(doc), os.Args[1])
+	fmt.Printf("schemacheck: ok (%d bytes against %s)\n", len(doc), flag.Arg(0))
 }

@@ -44,7 +44,8 @@ func TestRunAllParallelDeterminism(t *testing.T) {
 }
 
 // TestRunAllCoversRegistry guards the wiring: RunAll must emit one
-// banner per registered experiment, in registry order.
+// banner per artifact experiment, in registry order (standalone
+// studies run by name or sweep only and must not appear).
 func TestRunAllCoversRegistry(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment suite in -short mode")
@@ -55,12 +56,17 @@ func TestRunAllCoversRegistry(t *testing.T) {
 	}
 	out := buf.Bytes()
 	pos := 0
-	for _, e := range experiments.All() {
+	for _, e := range experiments.Artifacts() {
 		banner := []byte("================ " + e.Name + " — ")
 		idx := bytes.Index(out[pos:], banner)
 		if idx < 0 {
 			t.Fatalf("banner for %q missing or out of order", e.Name)
 		}
 		pos += idx + len(banner)
+	}
+	for _, e := range experiments.All() {
+		if e.Standalone && bytes.Contains(out, []byte("================ "+e.Name+" — ")) {
+			t.Fatalf("standalone scenario %q leaked into `all` output", e.Name)
+		}
 	}
 }

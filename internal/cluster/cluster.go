@@ -7,12 +7,15 @@
 //
 //   - Failure domains: a rack is the blast radius of a ToR or pod
 //     failure, and the unit of maintenance (DrainRack).
-//   - An inter-rack fabric (FabricModel): spill placements, cross-rack
-//     migrations, and drains pay spine latency and bandwidth, so
-//     federation is never free.
+//   - A declarative fleet topology (internal/topo): the cluster is a
+//     tree of rows, racks, and hosts with typed links; spill
+//     placements, cross-rack migrations, and drains are charged by
+//     path aggregation over that tree, so federation is never free and
+//     a cross-row move is dearer than a same-row one.
 //   - Failure-domain-aware placement: a tenant lands in its home rack
-//     while pressure allows, spills to the least-pressured remote rack
-//     when it does not, and is repatriated when home cools down.
+//     while pressure allows, spills to the least-pressured
+//     fewest-hops rack (same-row before cross-row) when it does not,
+//     and is repatriated when home cools down.
 //
 // Time advances in epochs. Within an epoch every rack simulates its
 // tenants' traffic packet-by-packet on its private sim.Engine; racks
@@ -34,6 +37,8 @@ import (
 	"cxlpool/internal/params"
 	"cxlpool/internal/runner"
 	"cxlpool/internal/sim"
+	"cxlpool/internal/topo"
+	"cxlpool/internal/torless"
 	"cxlpool/internal/workload"
 )
 
@@ -63,14 +68,10 @@ var (
 
 // Config sizes a cluster.
 type Config struct {
-	// Racks is the failure-domain count (default 4).
-	Racks int
-	// HostsPerRack sizes each pod; host0 is the rack's orchestrator
-	// home and traffic sink, hosts 1.. contribute pooled NICs
-	// (default 3).
-	HostsPerRack int
-	// NICsPerHost is pooled NICs per device host (default 1).
-	NICsPerHost int
+	// Topo is the fleet topology: rows of racks with per-rack hardware
+	// specs and typed links (nil: topo.Default() — one row of four
+	// identical racks, the legacy shape).
+	Topo *topo.Topology
 	// TenantsPerRack is how many tenants call each rack home
 	// (default 4).
 	TenantsPerRack int
@@ -79,8 +80,6 @@ type Config struct {
 	// Policy is each rack orchestrator's allocation policy
 	// (default LocalFirst).
 	Policy orch.Policy
-	// Fabric is the interconnect model (zero value: DefaultFabric).
-	Fabric FabricModel
 	// Epoch is the per-round simulated horizon (default DefaultEpoch).
 	Epoch sim.Duration
 	// PressureThreshold gates local placement (default 0.7).
@@ -98,14 +97,8 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Racks <= 0 {
-		c.Racks = 4
-	}
-	if c.HostsPerRack < 2 {
-		c.HostsPerRack = 3
-	}
-	if c.NICsPerHost <= 0 {
-		c.NICsPerHost = 1
+	if c.Topo == nil {
+		c.Topo = topo.Default()
 	}
 	if c.TenantsPerRack <= 0 {
 		c.TenantsPerRack = 4
@@ -119,33 +112,81 @@ func (c Config) withDefaults() Config {
 	if c.TenantState <= 0 {
 		c.TenantState = DefaultTenantState
 	}
-	c.Fabric = c.Fabric.defaults()
-	c.Skew.Racks = c.Racks
+	c.Skew.Racks = c.Topo.RackCount()
 	return c
 }
 
 // ParamSpecs declares the federation experiment's tunable surface for
 // the Scenario API: CLI flags, usage text, and sweep axes are all
-// generated from these declarations.
+// generated from these declarations. On top of the original
+// racks/workers surface the topology redesign adds a preset selector
+// plus the row and heterogeneity knobs it reads.
 func ParamSpecs() []params.Spec {
 	return []params.Spec{
 		{Name: "racks", Kind: params.Int, Def: "4", Min: 2, Max: 64, Bounded: true,
 			Help: "failure-domain (rack) count"},
 		{Name: "workers", Kind: params.Int, Def: "0", Min: 0, Max: 1024, Bounded: true,
 			Help: "parallel rack simulation workers (0 = GOMAXPROCS, 1 = sequential)"},
+		{Name: "topo", Kind: params.String, Def: "uniform",
+			Enum: []string{"uniform", "multirow", "het"},
+			Help: "topology preset: uniform (one row, identical racks), multirow (-rows rows), het (-rows rows, -het profile)"},
+		{Name: "rows", Kind: params.Int, Def: "1", Min: 1, Max: 16, Bounded: true,
+			Help: "rows for the multirow/het presets (racks split contiguously)"},
+		{Name: "het", Kind: params.String, Def: "mixed",
+			Enum: topo.HetProfiles(),
+			Help: "rack heterogeneity profile for -topo het (odd racks differ)"},
 	}
 }
 
-// ConfigFromParams maps a validated parameter set (racks, workers,
-// seed) onto a Config. Shape knobs the parameter surface does not
-// expose (hosts/tenants per rack, skew, fabric) stay at their zero
-// values for the caller to fill before New.
-func ConfigFromParams(p *params.Set) Config {
+// MultiRowParamSpecs declares the multirow scenario's surface: the
+// same knobs with multi-row defaults and no preset indirection.
+func MultiRowParamSpecs() []params.Spec {
+	return []params.Spec{
+		{Name: "racks", Kind: params.Int, Def: "8", Min: 2, Max: 64, Bounded: true,
+			Help: "total rack count (split contiguously across rows)"},
+		{Name: "rows", Kind: params.Int, Def: "2", Min: 1, Max: 16, Bounded: true,
+			Help: "row count (a row is one spine domain of racks)"},
+		{Name: "het", Kind: params.String, Def: "none",
+			Enum: topo.HetProfiles(),
+			Help: "rack heterogeneity profile (odd racks differ)"},
+		{Name: "workers", Kind: params.Int, Def: "0", Min: 0, Max: 1024, Bounded: true,
+			Help: "parallel rack simulation workers (0 = GOMAXPROCS, 1 = sequential)"},
+	}
+}
+
+// ConfigFromParams maps a validated parameter set onto a Config,
+// building the topology from whichever of the racks/rows/topo/het
+// knobs the surface declares (undeclared ones take uniform defaults).
+// Shape knobs the parameter surface does not expose (tenants per rack,
+// skew) stay at their zero values for the caller to fill before New.
+func ConfigFromParams(p *params.Set) (Config, error) {
+	racks := p.Int("racks")
+	rows, het := 1, "none"
+	if p.Has("rows") {
+		rows = p.Int("rows")
+	}
+	if p.Has("het") {
+		het = p.Str("het")
+	}
+	if p.Has("topo") {
+		// The preset gates the other knobs so `-topo uniform` is always
+		// the legacy single-row fleet regardless of stale -rows/-het.
+		switch p.Str("topo") {
+		case "uniform":
+			rows, het = 1, "none"
+		case "multirow":
+			het = "none"
+		}
+	}
+	t, err := topo.Preset(racks, rows, het)
+	if err != nil {
+		return Config{}, err
+	}
 	return Config{
-		Racks:   p.Int("racks"),
+		Topo:    t,
 		Workers: p.Int("workers"),
 		Seed:    p.Seed(),
-	}
+	}, nil
 }
 
 // Tenant is one pooled-NIC consumer: homed in a rack, currently placed
@@ -235,6 +276,9 @@ type Cluster struct {
 	drained     *metrics.CounterSet
 	// MigrationTime records the modeled cost of each cross-rack move.
 	MigrationTime *metrics.Recorder
+	// Row-aware migration split (cumulative).
+	sameRowMigs  uint64
+	crossRowMigs uint64
 
 	epoch int
 }
@@ -248,8 +292,12 @@ type EpochStats struct {
 	DeliveredGbps []float64
 	Pressure      []float64 // offered demand / capacity at epoch start
 	MeasuredLoad  []float64 // orch mean device load at epoch end
-	// Control-plane activity this epoch.
+	// Control-plane activity this epoch. Migrations splits by path
+	// locality: MigSameRow stayed inside one row, MigCrossRow crossed
+	// the core tier.
 	Migrations    int
+	MigSameRow    int
+	MigCrossRow   int
 	Repatriations int
 	Unplaced      int
 }
@@ -266,7 +314,7 @@ func New(cfg Config) (*Cluster, error) {
 		drained:       metrics.NewCounterSet(),
 		MigrationTime: metrics.NewRecorder(64),
 	}
-	for r := 0; r < cfg.Racks; r++ {
+	for r := 0; r < cfg.Topo.RackCount(); r++ {
 		rack, err := c.buildRack(r)
 		if err != nil {
 			return nil, err
@@ -281,7 +329,7 @@ func New(cfg Config) (*Cluster, error) {
 	// seeded per rack so rack r's tenants are identical at every
 	// cluster size — the pooling-benefit sweep then varies exactly one
 	// thing, the number of racks pooled.
-	for r := 0; r < cfg.Racks; r++ {
+	for r := 0; r < cfg.Topo.RackCount(); r++ {
 		demand, err := workload.NewTenantDemand(nil, nil, sim.NewRand(cfg.Seed*31+7+int64(r)))
 		if err != nil {
 			return nil, err
@@ -302,15 +350,30 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// buildRack assembles one failure domain: pod, NICs, orchestrator,
-// sink.
+// buildRack assembles one failure domain from its topology spec: pod,
+// NICs (at the spec's line rate), orchestrator, sink.
 func (c *Cluster) buildRack(idx int) (*Rack, error) {
 	cfg := c.cfg
+	spec := cfg.Topo.Rack(idx).Spec
+	// The shared segment holds every sink's RX posting (~9.5 MiB per
+	// pooled device) plus tenant channels and buffer pools: 64 MiB
+	// covers the default two devices; bigger racks scale it. Sparse
+	// chunk backing keeps idle segment memory nearly free.
+	shared := 64 << 20
+	if d := spec.Devices(); d > 2 {
+		shared = (d + 1) / 2 * (64 << 20)
+	}
+	// The shared segment is carved from the first MHD, so the spec's
+	// device capacity is a floor, not a cap, when the rack is dense.
+	deviceSize := spec.DeviceMiB << 20
+	if deviceSize < shared {
+		deviceSize = shared
+	}
 	pod, err := core.NewPod(core.Config{
-		Hosts:             cfg.HostsPerRack,
+		Hosts:             spec.Hosts,
 		NICsPerHost:       0, // attached explicitly below
-		SharedSize:        64 << 20,
-		DeviceSize:        128 << 20,
+		SharedSize:        shared,
+		DeviceSize:        deviceSize,
 		Seed:              cfg.Seed + int64(idx)*1009,
 		AgentPollInterval: sim.Microsecond,
 	})
@@ -347,9 +410,9 @@ func (c *Cluster) buildRack(idx int) (*Rack, error) {
 		if err != nil {
 			return nil, err
 		}
-		for j := 0; j < cfg.NICsPerHost; j++ {
+		for j := 0; j < spec.NICsPerHost; j++ {
 			name := fmt.Sprintf("%s-nic%d", hn, j)
-			nic, err := h.AddNIC(name)
+			nic, err := h.AddNICRate(name, spec.NICRate())
 			if err != nil {
 				return nil, err
 			}
@@ -454,19 +517,28 @@ func (c *Cluster) canServe(t *Tenant, rackIdx int) bool {
 	return err == nil
 }
 
-// coldestRackFor returns the lowest-pressure rack that can serve the
+// coldestRackFor returns the best spill/relocation target for the
 // tenant (excluding `exclude`; pass -1 to consider all), or -1 if none
-// exist. Ties break toward the lowest index, keeping placement
-// deterministic.
+// can serve it. Candidates are ranked by path hops from the tenant's
+// current location (its home when unplaced) first — same-row racks
+// before cross-row ones — then by pressure; remaining ties break
+// toward the lowest index, keeping placement deterministic. In a
+// single-row fleet every candidate is equidistant, so the ranking
+// degenerates to the original pure-pressure choice.
 func (c *Cluster) coldestRackFor(t *Tenant, exclude int) int {
-	best, bestP := -1, 0.0
+	ref := t.rack
+	if ref < 0 {
+		ref = t.Home
+	}
+	best, bestHops, bestP := -1, 0, 0.0
 	for i := range c.racks {
 		if i == exclude || !c.canServe(t, i) {
 			continue
 		}
+		hops := c.cfg.Topo.RackPath(ref, i).Hops
 		p := c.pressure(i)
-		if best == -1 || p < bestP {
-			best, bestP = i, p
+		if best == -1 || hops < bestHops || (hops == bestHops && p < bestP) {
+			best, bestHops, bestP = i, hops, p
 		}
 	}
 	return best
@@ -538,7 +610,7 @@ func (c *Cluster) bind(t *Tenant, rackIdx int) error {
 }
 
 // migrate moves a tenant to rack dst: release in the source rack,
-// allocate in the destination, charge the spine.
+// allocate in the destination, charge the src->dst path.
 func (c *Cluster) migrate(t *Tenant, dst int) error {
 	src := t.rack
 	if src == dst {
@@ -555,9 +627,20 @@ func (c *Cluster) migrate(t *Tenant, dst int) error {
 	}
 	if src >= 0 {
 		c.migratedOut.Add(c.racks[src].Name, 1)
-		c.MigrationTime.Record(float64(c.cfg.Fabric.MigrationCost(c.cfg.TenantState)))
+		c.MigrationTime.Record(float64(c.MigrationCost(src, dst)))
+		if c.cfg.Topo.SameRow(src, dst) {
+			c.sameRowMigs++
+		} else {
+			c.crossRowMigs++
+		}
 	}
 	return nil
+}
+
+// RowMigrations returns the cumulative migration split: moves that
+// stayed inside one row vs moves that crossed the core tier.
+func (c *Cluster) RowMigrations() (sameRow, crossRow uint64) {
+	return c.sameRowMigs, c.crossRowMigs
 }
 
 // globalSweep is the between-epochs control loop: repatriate spilled
@@ -666,7 +749,9 @@ func (c *Cluster) DrainRack(idx int) (int, sim.Duration, error) {
 			return moved, cost, err
 		}
 		moved++
-		cost += c.cfg.Fabric.MigrationCost(c.cfg.TenantState)
+		// Each relocation is charged by its own path: same-row targets
+		// (preferred by coldestRackFor) stream cheaper than cross-row.
+		cost += c.MigrationCost(idx, dst)
 		c.drained.Add(rack.Name, 1)
 	}
 	rack.Orch.Stop()
@@ -709,11 +794,14 @@ func (c *Cluster) RunEpoch() (EpochStats, error) {
 			st.Unplaced++
 		}
 	}
+	same0, cross0 := c.sameRowMigs, c.crossRowMigs
 	mig, rep, err := c.globalSweep()
 	if err != nil {
 		return st, err
 	}
 	st.Migrations, st.Repatriations = mig, rep
+	st.MigSameRow = int(c.sameRowMigs - same0)
+	st.MigCrossRow = int(c.crossRowMigs - cross0)
 	for i := range c.racks {
 		st.Pressure[i] = c.pressure(i)
 	}
@@ -804,6 +892,48 @@ func (c *Cluster) runRackEpoch(r *Rack) error {
 	}
 	r.clock = end
 	return nil
+}
+
+// DomainOutage is one topology domain's modeled probability of being
+// entirely out: for a rack, the torless closed-form ToR-less pod
+// outage for its hardware spec; for rows and the cluster root, every
+// contained rack simultaneously out (independent failures).
+type DomainOutage struct {
+	Name   string
+	Kind   topo.Kind
+	Outage float64
+}
+
+// Availability extends the torless reliability analysis to every
+// domain of the topology: per-rack outages from each rack's own spec
+// (heterogeneous racks get heterogeneous outage figures), aggregated
+// up the tree. Results are in tree order: racks, then rows, then the
+// cluster root.
+func (c *Cluster) Availability(probs torless.FailureProbs) []DomainOutage {
+	t := c.cfg.Topo
+	rackOut := make([]float64, t.RackCount())
+	out := make([]DomainOutage, 0, t.RackCount()+t.RowCount()+1)
+	for i, r := range t.Racks() {
+		rackOut[i] = torless.AnalyticRackOutage(torless.Config{
+			PodSize:    r.Spec.Hosts,
+			PooledNICs: r.Spec.Devices(),
+			Probs:      probs,
+		})
+		out = append(out, DomainOutage{Name: r.Name, Kind: topo.KindRack, Outage: rackOut[i]})
+	}
+	all := 1.0
+	for ri, row := range t.Rows() {
+		p := 1.0
+		for i := range t.Racks() {
+			if t.RowOf(i) == ri {
+				p *= rackOut[i]
+			}
+		}
+		out = append(out, DomainOutage{Name: row.Name, Kind: topo.KindRow, Outage: p})
+		all *= p
+	}
+	out = append(out, DomainOutage{Name: t.Root().Name, Kind: topo.KindRoot, Outage: all})
+	return out
 }
 
 // Run executes n epochs and returns their stats.

@@ -4,16 +4,26 @@ import (
 	"fmt"
 	"testing"
 
+	"cxlpool/internal/topo"
+	"cxlpool/internal/torless"
 	"cxlpool/internal/workload"
 )
+
+// uniformTopo builds a single-row fleet of identical default racks.
+func uniformTopo(t *testing.T, racks int) *topo.Topology {
+	t.Helper()
+	tp, err := topo.Uniform(racks, topo.RackSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
 
 // testConfig is a small federated cluster with a strong rotating
 // hotspot: rack capacity 200 Gbps (2 pooled NICs), four tenants per
 // rack, hot tenants demand 6x baseline.
 func testConfig(seed int64, federate bool) Config {
 	return Config{
-		Racks:          4,
-		HostsPerRack:   3,
 		TenantsPerRack: 4,
 		Seed:           seed,
 		Federate:       federate,
@@ -22,7 +32,7 @@ func testConfig(seed int64, federate bool) Config {
 }
 
 func TestPlacementPrefersLocalRack(t *testing.T) {
-	c, err := New(Config{Racks: 3, Seed: 5, Federate: true,
+	c, err := New(Config{Topo: uniformTopo(t, 3), Seed: 5, Federate: true,
 		Skew: workload.RackSkew{HotFactor: 1}}) // no hotspot: nobody spills
 	if err != nil {
 		t.Fatal(err)
@@ -256,5 +266,132 @@ func TestClusterDeterminism(t *testing.T) {
 		if got := render(w); got != seq {
 			t.Fatalf("workers=%d diverges from sequential:\n--- seq ---\n%s--- par ---\n%s", w, seq, got)
 		}
+	}
+}
+
+// Spills from a pressured rack must prefer same-row targets: with an
+// idle rack available in the hot rack's own row, nothing crosses the
+// core tier.
+func TestSpillPrefersSameRow(t *testing.T) {
+	tp, err := topo.MultiRow(2, 2, topo.RackSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(11, true)
+	cfg.Topo = tp
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(2); err != nil { // hotspot dwells on rack0 (row0)
+		t.Fatal(err)
+	}
+	_, spill, _, _ := c.Counters()
+	if spill.Total() == 0 {
+		t.Fatal("6x hotspot never spilled")
+	}
+	for _, tn := range c.Tenants() {
+		if tn.Home == 0 && tn.Rack() >= 0 && !tp.SameRow(tn.Home, tn.Rack()) {
+			t.Fatalf("tenant %s spilled cross-row to rack %d with same-row capacity idle",
+				tn.Name, tn.Rack())
+		}
+	}
+	same, cross := c.RowMigrations()
+	if cross != 0 {
+		t.Fatalf("cross-row migrations = %d (same-row %d) with row capacity to spare", cross, same)
+	}
+}
+
+// Cross-rack moves are charged by path: a cross-row migration must
+// cost more than a same-row one of the same tenant state.
+func TestMigrationChargedByPath(t *testing.T) {
+	tp, err := topo.MultiRow(2, 2, topo.RackSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(1, true)
+	cfg.Topo = tp
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRow := c.MigrationCost(0, 1)
+	crossRow := c.MigrationCost(0, 2)
+	if sameRow <= 0 || crossRow <= sameRow {
+		t.Fatalf("migration costs: same-row %v, cross-row %v — want 0 < same < cross", sameRow, crossRow)
+	}
+	if c.RemotePenalty(0, 2) <= c.RemotePenalty(0, 1) {
+		t.Fatal("cross-row remote penalty not dearer than same-row")
+	}
+}
+
+// Heterogeneous racks derive capacity, pressure, and path bottlenecks
+// from their own specs.
+func TestHeterogeneousRackSpecs(t *testing.T) {
+	tp, err := topo.Heterogeneous([]topo.RackSpec{
+		{},                         // 2x100G
+		{NICGbps: 40},              // 2x40G
+		{Hosts: 4, NICsPerHost: 2}, // 6x100G
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(9, true)
+	cfg.Topo = tp
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{200, 80, 600}
+	for i, r := range c.Racks() {
+		if r.CapacityGbps() != want[i] {
+			t.Fatalf("rack %d capacity = %.0f Gbps, want %.0f", i, r.CapacityGbps(), want[i])
+		}
+	}
+	// The 40G rack's bundled uplink bottlenecks any path touching it.
+	if bw := tp.RackPath(0, 1).Bandwidth; bw != 20 {
+		t.Fatalf("path bottleneck into the 40G rack = %v GB/s, want 20", bw)
+	}
+	if bw := tp.RackPath(0, 2).Bandwidth; bw != 50 {
+		t.Fatalf("path between 100G racks = %v GB/s, want 50", bw)
+	}
+	if _, err := c.Run(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Availability aggregates torless rack outages up the tree: rows with
+// more racks are strictly more available, and heterogeneous racks get
+// their own per-rack figures.
+func TestAvailabilityPerDomain(t *testing.T) {
+	tp, err := topo.Preset(4, 2, "devices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(1, true)
+	cfg.Topo = tp
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Availability(torless.DefaultFailureProbs())
+	if len(out) != 4+2+1 {
+		t.Fatalf("availability entries = %d, want 7 (racks+rows+root)", len(out))
+	}
+	byName := map[string]float64{}
+	for _, d := range out {
+		if d.Outage <= 0 || d.Outage >= 1 {
+			t.Fatalf("domain %s outage %g outside (0,1)", d.Name, d.Outage)
+		}
+		byName[d.Name] = d.Outage
+	}
+	// Odd racks have an extra device host: strictly more available.
+	if byName["rack1"] >= byName["rack0"] {
+		t.Fatalf("3-device rack1 outage %g not below 2-device rack0 %g", byName["rack1"], byName["rack0"])
+	}
+	// A row fails only when all its racks do; the root only when all rows do.
+	if byName["row0"] >= byName["rack0"] || byName["cluster"] >= byName["row0"] {
+		t.Fatalf("aggregation not monotone: rack0=%g row0=%g cluster=%g",
+			byName["rack0"], byName["row0"], byName["cluster"])
 	}
 }

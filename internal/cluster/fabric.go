@@ -4,24 +4,37 @@ import (
 	"fmt"
 
 	"cxlpool/internal/mem"
-	"cxlpool/internal/netsim"
 	"cxlpool/internal/sim"
-	"cxlpool/internal/torless"
+	"cxlpool/internal/topo"
 )
 
 // Tier is one rung of the cluster interconnect hierarchy: a one-way
-// latency plus the bandwidth one flow can draw through it.
+// latency plus the bandwidth one flow can draw through it. Tiers are
+// the reporting view of the topology — where the old FabricModel
+// hard-coded exactly two of them, they are now derived from topo.Path
+// aggregation over the fleet's domain tree.
 type Tier struct {
 	Name      string
 	Latency   sim.Duration
 	Bandwidth mem.GBps
 }
 
+// TierFromPath renders an aggregated path as a named tier.
+func TierFromPath(name string, p topo.Path) Tier {
+	return Tier{Name: name, Latency: p.Latency, Bandwidth: p.Bandwidth}
+}
+
+// TierFromLink renders a single topology edge as a named tier.
+func TierFromLink(name string, l topo.Link) Tier {
+	return Tier{Name: name, Latency: l.Latency, Bandwidth: l.Bandwidth}
+}
+
 // RTT is the round-trip latency of the tier.
 func (t Tier) RTT() sim.Duration { return 2 * t.Latency }
 
 // Transfer returns the time to move n bytes over the tier: one
-// traversal plus serialization at the tier's bandwidth.
+// traversal plus serialization at the tier's bandwidth. A zero-byte
+// transfer costs one traversal.
 func (t Tier) Transfer(n int) sim.Duration {
 	return t.Latency + t.Bandwidth.TransferTime(n)
 }
@@ -31,61 +44,36 @@ func (t Tier) String() string {
 	return fmt.Sprintf("%s %v / %.1f GB/s", t.Name, t.Latency, float64(t.Bandwidth))
 }
 
-// FabricModel layers the inter-rack fabric over the intra-rack
-// primitives the pods already simulate. The split of fidelity is
-// deliberate: inside a rack every packet, doorbell, and channel poll is
-// event-simulated (netsim + shm); between racks — where the paper's
-// pooling argument meets fleet scale — the spine is modeled
-// analytically as a latency/bandwidth tier, which is what cross-rack
-// placement and migration decisions actually consume.
-type FabricModel struct {
-	// IntraRack is the simulated ToR tier (for reporting symmetry; the
-	// pod's netsim fabric is the source of truth inside a rack).
-	IntraRack Tier
-	// InterRack is the analytic spine tier crossed by tenant spills,
-	// cross-rack migrations, and rack drains.
-	InterRack Tier
-	// Probs feed the torless reliability analysis of the per-rack
-	// failure domains in the cluster report.
-	Probs torless.FailureProbs
+// IntraRackTier is the fleet's within-rack tier for reporting (rack
+// 0's view; inside a rack the pod's event simulation is the source of
+// truth).
+func (c *Cluster) IntraRackTier() Tier {
+	return TierFromLink("intra-rack (ToR)", c.cfg.Topo.IntraRack(0))
 }
 
-// DefaultFabric derives both tiers from netsim's switch constants: the
-// intra-rack tier is one ToR traversal (propagation + cut-through
-// forward); the inter-rack tier is three switch traversals
-// (ToR -> spine -> ToR) plus two extra cable runs, with 4x one NIC's
-// bandwidth (bundled spine uplinks).
-func DefaultFabric() FabricModel {
-	hop := netsim.DefaultPropagation + netsim.DefaultForwardLatency
-	return FabricModel{
-		IntraRack: Tier{"intra-rack (ToR)", hop, 12.5},
-		InterRack: Tier{"inter-rack (spine)", 3*hop + 2*netsim.DefaultPropagation, 50},
-		Probs:     torless.DefaultFailureProbs(),
+// InterRackTier is the aggregated rack-to-rack tier between racks a
+// and b, named by whether the path stays inside one row.
+func (c *Cluster) InterRackTier(a, b int) Tier {
+	name := "inter-rack (spine)"
+	if !c.cfg.Topo.SameRow(a, b) {
+		name = "cross-row (core)"
 	}
+	return TierFromPath(name, c.cfg.Topo.RackPath(a, b))
 }
 
-func (m FabricModel) defaults() FabricModel {
-	d := DefaultFabric()
-	if m.IntraRack == (Tier{}) {
-		m.IntraRack = d.IntraRack
-	}
-	if m.InterRack == (Tier{}) {
-		m.InterRack = d.InterRack
-	}
-	if m.Probs == (torless.FailureProbs{}) {
-		m.Probs = d.Probs
-	}
-	return m
-}
-
-// MigrationCost models one cross-rack tenant move: a control
-// round-trip over the spine plus streaming the tenant's device state
-// (buffers, rings, mappings) through it.
-func (m FabricModel) MigrationCost(stateBytes int) sim.Duration {
-	return m.InterRack.RTT() + m.InterRack.Bandwidth.TransferTime(stateBytes)
+// MigrationCost models one cross-rack tenant move from rack src to
+// rack dst: a control round-trip over the path plus streaming the
+// tenant's device state (buffers, rings, mappings) through its
+// bottleneck bandwidth. Costs are charged per path, so a cross-row
+// move is dearer than a same-row one.
+func (c *Cluster) MigrationCost(src, dst int) sim.Duration {
+	p := c.cfg.Topo.RackPath(src, dst)
+	return p.RTT() + p.Bandwidth.TransferTime(c.cfg.TenantState)
 }
 
 // RemotePenalty is the extra per-operation latency a spilled tenant
-// pays while its device lives in another rack: doorbell out and
-// completion back, both across the spine.
-func (m FabricModel) RemotePenalty() sim.Duration { return m.InterRack.RTT() }
+// pays while its device lives in rack dst and its compute in rack src:
+// doorbell out and completion back, both across the path.
+func (c *Cluster) RemotePenalty(src, dst int) sim.Duration {
+	return c.cfg.Topo.RackPath(src, dst).RTT()
+}

@@ -261,10 +261,16 @@ func (h *Host) Agent() *Agent { return h.agent }
 // pod fabric. The NIC's DMA view is the host's address space, so it can
 // reach both local DDR and the CXL pool window.
 func (h *Host) AddNIC(name string) (*nicsim.NIC, error) {
+	return h.AddNICRate(name, 0)
+}
+
+// AddNICRate is AddNIC with an explicit line rate (heterogeneous
+// racks); rate <= 0 keeps the 100 Gbps default.
+func (h *Host) AddNICRate(name string, rate mem.GBps) (*nicsim.NIC, error) {
 	if _, ok := h.nics[name]; ok {
 		return nil, fmt.Errorf("core: NIC %q already attached to %s", name, h.name)
 	}
-	n := nicsim.New(name, nicsim.Config{})
+	n := nicsim.New(name, nicsim.Config{LineRate: rate})
 	n.AttachHostMemory(h.space)
 	n.AttachFabric(h.pod.Fabric)
 	if err := h.pod.Fabric.Attach(name, n.LineRate(), n); err != nil {

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+)
+
+// A Remap whose Bind fails partway — here at RX posting, because the
+// target NIC's RX ring cannot take the vNIC's buffers on top of
+// another tenant's — must not leave the vNIC half-bound to the new
+// device. Pre-fix, Bind had already torn down the old binding and set
+// owner/phys to the new device before failing, so the vNIC kept live
+// channels and a partial RX posting on a device the caller's
+// bookkeeping never recorded. Post-fix Remap unbinds the partial state
+// and leaves the handle cleanly detached.
+func TestRemapPartialFailureUnbinds(t *testing.T) {
+	pod, err := NewPod(Config{Hosts: 2, NICsPerHost: 1, SharedSize: 32 << 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, err := pod.Host("host0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := pod.Host("host1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// vBig occupies 700 of host1-nic0's 1024 RX ring slots.
+	vBig := NewVirtualNIC(h0, "big", VNICConfig{BufSize: 512, RxBuffers: 700})
+	if _, err := vBig.Bind(h1, "host1-nic0"); err != nil {
+		t.Fatal(err)
+	}
+	// v binds fine to host0's own NIC...
+	v := NewVirtualNIC(h0, "v", VNICConfig{BufSize: 512, RxBuffers: 400})
+	if _, err := v.Bind(h0, "host0-nic0"); err != nil {
+		t.Fatal(err)
+	}
+	// ...but remapping onto host1-nic0 fails at RX posting (700 + 400 >
+	// 1024), after the old binding is gone and channels are built.
+	if _, err := v.Remap(h1, "host1-nic0"); err == nil {
+		t.Fatal("Remap onto a full RX ring succeeded")
+	}
+	if v.Phys() != nil || v.Owner() != nil {
+		t.Fatalf("failed Remap left vNIC half-bound to %s", v.Owner().Name())
+	}
+	// The handle is cleanly rebindable afterwards.
+	if _, err := v.Bind(h0, "host0-nic0"); err != nil {
+		t.Fatalf("rebind after failed Remap: %v", err)
+	}
+	if v.Phys() == nil || v.Owner() != h0 {
+		t.Fatal("rebind did not take")
+	}
+}
+
+// A Remap that fails before touching the old binding (unknown phys
+// name) must leave that binding fully intact.
+func TestRemapUnknownDeviceKeepsBinding(t *testing.T) {
+	pod, err := NewPod(Config{Hosts: 2, NICsPerHost: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, err := pod.Host("host0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := pod.Host("host1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVirtualNIC(h0, "v", VNICConfig{BufSize: 512})
+	if _, err := v.Bind(h0, "host0-nic0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Remap(h1, "no-such-nic"); err == nil {
+		t.Fatal("Remap to unknown NIC succeeded")
+	}
+	if v.Owner() != h0 || v.Phys() == nil || v.Phys().Name() != "host0-nic0" {
+		t.Fatal("failed no-op Remap disturbed the existing binding")
+	}
+	// The surviving binding still carries traffic.
+	if _, err := v.Send(0, "host1-nic0", []byte("ping")); err != nil {
+		t.Fatalf("send after failed Remap: %v", err)
+	}
+}

@@ -150,6 +150,12 @@ func (v *VirtualNIC) OnReceive(fn func(now sim.Time, src string, payload []byte)
 // the two shared-memory channels, registers with both agents, allocates
 // TX buffers, and posts RX buffers to the device. Returns the
 // simulated control-plane latency.
+//
+// Bind is all-or-nothing: if any step fails after the previous binding
+// has been torn down, the partial new state (channels, buffer pools,
+// RX postings) is reclaimed and the vNIC is left cleanly unbound —
+// never half-bound. Only a failure to resolve physName leaves an
+// existing binding intact.
 func (v *VirtualNIC) Bind(owner *Host, physName string) (sim.Duration, error) {
 	phys, err := owner.NIC(physName)
 	if err != nil {
@@ -158,15 +164,25 @@ func (v *VirtualNIC) Bind(owner *Host, physName string) (sim.Duration, error) {
 	if v.phys != nil {
 		v.unbind()
 	}
+	if err := v.bind(owner, phys); err != nil {
+		v.unbind()
+		return 0, err
+	}
+	return RemapLatency, nil
+}
+
+// bind builds the binding; on error the caller reclaims the partial
+// state (owner/phys are set first so cleanup can unpost RX buffers).
+func (v *VirtualNIC) bind(owner *Host, phys *nicsim.NIC) error {
 	pod := v.user.pod
 	txCh, err := pod.NewChannel(v.cfg.ChannelSlots)
 	if err != nil {
-		return 0, err
+		return err
 	}
 	v.chAddrs = append(v.chAddrs, txCh.Base())
 	compCh, err := pod.NewChannel(v.cfg.ChannelSlots)
 	if err != nil {
-		return 0, err
+		return err
 	}
 	v.chAddrs = append(v.chAddrs, compCh.Base())
 	v.owner = owner
@@ -181,7 +197,7 @@ func (v *VirtualNIC) Bind(owner *Host, physName string) (sim.Duration, error) {
 	for i := 0; i < v.cfg.TxBuffers; i++ {
 		a, err := pod.SharedAlloc(v.cfg.BufSize)
 		if err != nil {
-			return 0, fmt.Errorf("core: vNIC TX pool: %w", err)
+			return fmt.Errorf("core: vNIC TX pool: %w", err)
 		}
 		v.txFree = append(v.txFree, a)
 	}
@@ -189,15 +205,15 @@ func (v *VirtualNIC) Bind(owner *Host, physName string) (sim.Duration, error) {
 	for i := 0; i < v.cfg.RxBuffers; i++ {
 		a, err := pod.SharedAlloc(v.cfg.BufSize)
 		if err != nil {
-			return 0, fmt.Errorf("core: vNIC RX pool: %w", err)
+			return fmt.Errorf("core: vNIC RX pool: %w", err)
 		}
 		v.rxAddrs = append(v.rxAddrs, a)
 		if err := phys.PostRxBuffer(a, v.cfg.BufSize); err != nil {
-			return 0, err
+			return err
 		}
 	}
 	phys.OnReceive(v.ownerRxCompletion)
-	return RemapLatency, nil
+	return nil
 }
 
 // unbind deactivates channel service and releases buffers.
@@ -216,6 +232,12 @@ func (v *VirtualNIC) unbind() {
 		_ = pod.SharedFree(a)
 	}
 	v.txFree = v.txFree[:0]
+	// RX buffers must leave the device's ring before their memory
+	// returns to the segment: a descriptor left behind would strand
+	// ring depth and DMA future packets into reallocated memory.
+	if v.phys != nil {
+		v.phys.UnpostRx(v.rxAddrs)
+	}
 	for _, a := range v.rxAddrs {
 		_ = pod.SharedFree(a)
 	}
@@ -255,6 +277,12 @@ func (v *VirtualNIC) Release() {
 // Remap rebinds the device to a different physical NIC (failover or
 // load shifting, §4.2). In-flight packets on the old device are lost,
 // as on real hardware.
+//
+// Remap inherits Bind's all-or-nothing contract: a remap that fails
+// midway (channel or buffer allocation, RX posting) leaves the vNIC
+// cleanly unbound for the caller to rebind — never half-bound to the
+// new device while bookkeeping elsewhere still names the old one. A
+// failure to resolve physName leaves the existing binding intact.
 func (v *VirtualNIC) Remap(owner *Host, physName string) (sim.Duration, error) {
 	if _, err := v.Bind(owner, physName); err != nil {
 		return 0, err

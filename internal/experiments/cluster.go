@@ -33,18 +33,23 @@ func runClusterFederation(_ context.Context, p *params.Set) (*report.Report, err
 	if racks < 2 {
 		return nil, fmt.Errorf("experiments: cluster needs >= 2 racks, got %d", racks)
 	}
-	c, err := cluster.New(clusterShape(cluster.ConfigFromParams(p), true))
+	base, err := cluster.ConfigFromParams(p)
 	if err != nil {
 		return nil, err
 	}
-	cfg := c.Config() // effective config: fabric tiers defaulted
+	c, err := cluster.New(clusterShape(base, true))
+	if err != nil {
+		return nil, err
+	}
+	cfg := c.Config() // effective config: topology defaulted
+	spec := cfg.Topo.Rack(0).Spec
 	nDomains := len(c.Racks())
 	r := newReport("cluster", p)
 	r.Linef("E14: cluster federation — %d racks x %d hosts, %d tenants/rack, %gx rotating hotspot",
-		nDomains, cfg.HostsPerRack, cfg.TenantsPerRack, cfg.Skew.HotFactor)
+		nDomains, spec.Hosts, cfg.TenantsPerRack, cfg.Skew.HotFactor)
 	r.Linef("fabric: %v; %v; migration %v for %d MiB state",
-		cfg.Fabric.IntraRack, cfg.Fabric.InterRack,
-		cfg.Fabric.MigrationCost(cfg.TenantState), cfg.TenantState>>20)
+		c.IntraRackTier(), c.InterRackTier(0, 1),
+		c.MigrationCost(0, 1), cfg.TenantState>>20)
 	r.Blank()
 
 	const epochs = 6
@@ -97,7 +102,7 @@ func runClusterFederation(_ context.Context, p *params.Set) (*report.Report, err
 		r.Linef("migration cost: %v per move (n=%d)",
 			sim.Duration(c.MigrationTime.Percentile(50)), c.MigrationTime.Count())
 	}
-	r.Linef("spilled-tenant penalty: +%v per op while remote", cfg.Fabric.RemotePenalty())
+	r.Linef("spilled-tenant penalty: +%v per op while remote", c.RemotePenalty(0, 1))
 	// CounterSet feeds the structured report directly: placements and
 	// per-destination migration tallies land as scalars (JSON/CSV only).
 	local.AppendScalars(r, "placements.local.")
@@ -107,9 +112,9 @@ func runClusterFederation(_ context.Context, p *params.Set) (*report.Report, err
 	// Failure-domain reliability, from the §5 torless analysis of one
 	// rack's design (analytic closed forms).
 	rs, err := torless.Analyze(torless.Config{
-		PodSize:    cfg.HostsPerRack,
-		PooledNICs: cfg.HostsPerRack - 1,
-		Probs:      cfg.Fabric.Probs,
+		PodSize:    spec.Hosts,
+		PooledNICs: spec.Devices(),
+		Probs:      torless.DefaultFailureProbs(),
 		Trials:     1, // analytic columns only; skip the expensive MC
 		Seed:       p.Seed(),
 	})
@@ -122,6 +127,11 @@ func runClusterFederation(_ context.Context, p *params.Set) (*report.Report, err
 				nDomains, row.RackOutageAnalytic)
 			r.AddScalar("rack_outage_analytic", row.RackOutageAnalytic, "")
 		}
+	}
+	// Per-domain availability (machine-facing; the text line above
+	// keeps the uniform-rack summary).
+	for _, d := range c.Availability(torless.DefaultFailureProbs()) {
+		r.AddScalar("outage."+d.Name, d.Outage, "")
 	}
 	r.Blank()
 
@@ -172,11 +182,11 @@ func runClusterFederation(_ context.Context, p *params.Set) (*report.Report, err
 }
 
 // clusterShape fills the shared E14 shape onto a params-derived config:
-// 200 Gbps racks (two pooled 100G NICs each), six tenants per rack,
-// 12x hotspot dwelling two epochs per rack — hot-rack demand (~390
-// Gbps offered) overruns one rack but fits the cluster.
+// 200 Gbps racks (the topology default — two pooled 100G NICs each),
+// six tenants per rack, 12x hotspot dwelling two epochs per rack —
+// hot-rack demand (~390 Gbps offered) overruns one rack but fits the
+// cluster.
 func clusterShape(cfg cluster.Config, federate bool) cluster.Config {
-	cfg.HostsPerRack = 3
 	cfg.TenantsPerRack = 6
 	cfg.Federate = federate
 	cfg.Skew = workload.RackSkew{HotFactor: 12, Period: 2}
@@ -193,12 +203,23 @@ func hotGoodput(p *params.Set, racks int, federate bool) (float64, error) {
 	if err := pp.Set("racks", strconv.Itoa(racks)); err != nil {
 		return 0, err
 	}
+	// The benefit sweep varies exactly one thing — the number of racks
+	// pooled — so its sub-clusters are always the uniform single-row
+	// shape, whatever topology the main run used (a cloned -rows could
+	// otherwise exceed the smallest sub-cluster's rack count).
+	if err := pp.Set("topo", "uniform"); err != nil {
+		return 0, err
+	}
 	// The benefit sweep itself already runs points in parallel; each
 	// cluster simulates its racks sequentially.
 	if err := pp.Set("workers", "1"); err != nil {
 		return 0, err
 	}
-	cfg := clusterShape(cluster.ConfigFromParams(pp), federate)
+	base, err := cluster.ConfigFromParams(pp)
+	if err != nil {
+		return 0, err
+	}
+	cfg := clusterShape(base, federate)
 	// Half-length epochs: the sweep needs ratios, not long steady
 	// state, and it runs ten clusters.
 	cfg.Epoch = sim.Millisecond

@@ -23,6 +23,8 @@
 //	E12 storage    local vs CXL-pooled vs NVMe-oF storage
 //	E13 figure2xl  stranding at 20k hosts (index-enabled scale-up)
 //	E14 cluster    multi-rack federation at rack scale
+//	E15 multirow   multi-row / heterogeneous topology study
+//	               (standalone: by name or sweep only, not in `all`)
 package experiments
 
 import (
@@ -72,6 +74,8 @@ func All() []Scenario {
 			Params: []params.Spec{hostsSpec(20000)}, Run: runFigure2XL},
 		{Name: "cluster", Paper: "E14: multi-rack federation — pooling benefit at rack scale",
 			Params: clusterParamSpecs(), Run: runClusterFederation},
+		{Name: "multirow", Paper: "E15: multi-row / heterogeneous fleet topology",
+			Params: multirowParamSpecs(), Run: runMultiRow, Standalone: true},
 	}
 }
 

@@ -19,7 +19,7 @@ func runExp(t *testing.T, name string) string {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"figure2", "sqrtn", "figure3", "figure4", "cost",
 		"lanes", "memlat", "failover", "ablate", "torless", "pooled", "storage",
-		"figure2xl", "cluster"}
+		"figure2xl", "cluster", "multirow"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(all), len(want))
@@ -34,6 +34,47 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if _, ok := Lookup("nonsense"); ok {
 		t.Fatal("bogus lookup succeeded")
+	}
+	// The `all` artifact set excludes standalone studies but nothing
+	// else: the golden stays pinned to the paper's artifacts while
+	// multirow remains reachable by name and sweep.
+	arts := Artifacts()
+	if len(arts) != len(all)-1 {
+		t.Fatalf("artifact set has %d entries, want %d", len(arts), len(all)-1)
+	}
+	for _, s := range arts {
+		if s.Standalone {
+			t.Errorf("standalone scenario %q leaked into the artifact set", s.Name)
+		}
+	}
+	if s, ok := Lookup("multirow"); !ok || !s.Standalone {
+		t.Fatal("multirow must be registered and standalone")
+	}
+}
+
+func TestSuggestParam(t *testing.T) {
+	s, ok := Lookup("multirow")
+	if !ok {
+		t.Fatal("multirow not registered")
+	}
+	for _, tc := range []struct {
+		in, want string
+		close    bool
+	}{
+		{"rack", "racks", true},
+		{"row", "rows", true},
+		{"sed", "seed", true},
+		{"workrs", "workers", true},
+		{"bananas", "", false},
+	} {
+		got, close := SuggestParam(s, tc.in)
+		if close != tc.close {
+			t.Errorf("SuggestParam(%q) close = %v, want %v", tc.in, close, tc.close)
+			continue
+		}
+		if close && got != tc.want {
+			t.Errorf("SuggestParam(%q) = %q, want %q", tc.in, got, tc.want)
+		}
 	}
 }
 

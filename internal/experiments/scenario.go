@@ -28,6 +28,11 @@ type Scenario struct {
 	// Run executes the scenario. It must be a pure function of p on a
 	// private simulation engine: same params, same report, any machine.
 	Run func(ctx context.Context, p *params.Set) (*report.Report, error)
+	// Standalone marks a scenario that runs only when invoked by name
+	// or swept: `cxlpool all` (and its golden) stay pinned to the
+	// paper's artifact set while larger studies live alongside in the
+	// same registry.
+	Standalone bool
 }
 
 // seedSpec is the parameter every scenario shares.
@@ -84,10 +89,32 @@ func Lookup(name string) (Scenario, bool) {
 // boolean is false when nothing is plausibly close (distance > 3 and
 // more than half the input's length).
 func Suggest(name string) (string, bool) {
-	best, bestDist := "", int(^uint(0)>>1)
+	names := make([]string, 0, len(All()))
 	for _, s := range All() {
-		if d := editDistance(name, s.Name); d < bestDist {
-			best, bestDist = s.Name, d
+		names = append(names, s.Name)
+	}
+	return closest(name, names)
+}
+
+// SuggestParam returns the scenario's declared parameter name closest
+// to an unknown sweep-axis name, with the same plausibility cutoff as
+// Suggest — the CLI's "did you mean" hint for `-set` typos.
+func SuggestParam(s Scenario, name string) (string, bool) {
+	specs := s.NewParams().Specs()
+	names := make([]string, 0, len(specs))
+	for _, sp := range specs {
+		names = append(names, sp.Name)
+	}
+	return closest(name, names)
+}
+
+// closest picks the candidate at minimum edit distance, rejecting
+// matches further than 3 edits or more than half the input's length.
+func closest(name string, candidates []string) (string, bool) {
+	best, bestDist := "", int(^uint(0)>>1)
+	for _, c := range candidates {
+		if d := editDistance(name, c); d < bestDist {
+			best, bestDist = c, d
 		}
 	}
 	limit := 3
@@ -146,14 +173,26 @@ func RunText(w io.Writer, name string, seed int64) error {
 	return err
 }
 
-// RunAll runs every registered scenario at default parameters and
+// Artifacts returns the registry minus Standalone scenarios — the set
+// `cxlpool all` runs (and its golden pins).
+func Artifacts() []Scenario {
+	out := make([]Scenario, 0, len(All()))
+	for _, s := range All() {
+		if !s.Standalone {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RunAll runs every non-Standalone scenario at default parameters and
 // writes each one's banner and text rendering to w in registry order.
 // Scenarios fan out across at most workers goroutines (<= 0 means
 // GOMAXPROCS); because each scenario is a pure function of its params
 // on a private engine, the bytes written are identical for any worker
 // count, including 1.
 func RunAll(w io.Writer, seed int64, workers int) error {
-	all := All()
+	all := Artifacts()
 	tasks := make([]runner.Task, len(all))
 	for i, s := range all {
 		s := s
@@ -176,11 +215,12 @@ func RunAll(w io.Writer, seed int64, workers int) error {
 	return runner.Pool{Workers: workers}.Stream(w, tasks)
 }
 
-// RunAllReports runs every scenario at default parameters and returns
-// the structured reports in registry order — the `-format json|csv`
-// path. Same purity/determinism contract as RunAll.
+// RunAllReports runs every non-Standalone scenario at default
+// parameters and returns the structured reports in registry order —
+// the `-format json|csv` path. Same purity/determinism contract as
+// RunAll.
 func RunAllReports(ctx context.Context, seed int64, workers int) ([]*report.Report, error) {
-	all := All()
+	all := Artifacts()
 	reps := make([]*report.Report, len(all))
 	err := runner.Pool{Workers: workers}.ForEach(len(all), func(i int) error {
 		rep, err := all[i].RunDefault(ctx, seed)

@@ -148,6 +148,33 @@ func (n *NIC) Repair() { n.ep.Repair() }
 // Failed reports failure state.
 func (n *NIC) Failed() bool { return n.ep.Failed() }
 
+// UnpostRx removes any pending RX descriptors whose buffer address is
+// in addrs, returning how many were removed. Virtual NICs unpost their
+// buffers when a binding is torn down: the addresses return to the
+// shared segment, and a descriptor left behind would both strand ring
+// depth and let the NIC DMA a future packet into memory that may since
+// belong to another tenant.
+func (n *NIC) UnpostRx(addrs []mem.Address) int {
+	if len(addrs) == 0 || n.rxHead >= len(n.rxRing) {
+		return 0
+	}
+	drop := make(map[mem.Address]bool, len(addrs))
+	for _, a := range addrs {
+		drop[a] = true
+	}
+	kept := n.rxRing[:n.rxHead]
+	removed := 0
+	for _, d := range n.rxRing[n.rxHead:] {
+		if drop[d.addr] {
+			removed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	n.rxRing = kept
+	return removed
+}
+
 // PostRxBuffer gives the NIC a host buffer for a future inbound packet.
 func (n *NIC) PostRxBuffer(addr mem.Address, size int) error {
 	if len(n.rxRing)-n.rxHead >= n.ringDepth {

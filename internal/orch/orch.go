@@ -444,10 +444,23 @@ func (o *Orchestrator) failover(now sim.Time, failedDev *device) sim.Time {
 	return cur
 }
 
-// doMigrate remaps a vNIC onto dev and updates bookkeeping.
+// doMigrate remaps a vNIC onto dev and updates bookkeeping. On remap
+// failure the vNIC must end consistent with the assignment map, which
+// still names the previous device: Remap is all-or-nothing (it can
+// never leave the vNIC half-bound to dev), so doMigrate restores the
+// previous binding when it can. Bind shares that contract, so if even
+// the restore fails the vNIC is left cleanly unbound — findable by a
+// later failover or operator Migrate — rather than invisibly bound to
+// a device the map does not record.
 func (o *Orchestrator) doMigrate(now sim.Time, v *core.VirtualNIC, dev *device) sim.Duration {
+	prev := o.assign[v.Name()]
 	d, err := v.Remap(dev.owner, dev.name)
 	if err != nil {
+		if v.Phys() == nil {
+			if pd, ok := o.devices[prev]; ok {
+				_, _ = v.Bind(pd.owner, pd.name) // best effort; all-or-nothing
+			}
+		}
 		return 0
 	}
 	o.assign[v.Name()] = dev.name

@@ -1,0 +1,88 @@
+package orch
+
+import (
+	"testing"
+
+	"cxlpool/internal/core"
+)
+
+// Regression for the PR 4 review finding: doMigrate swallowed Remap
+// failures, so DrainHost's mark-first/roll-back path could leave a
+// vNIC half-bound to the replacement device while the restored
+// assignment map still recorded the old one — failover would then
+// never find the vNIC on the failed device. The fix is Remap-level
+// rollback (unbind on partial failure) plus doMigrate restoring the
+// previous binding; this test fails pre-fix.
+func TestDrainHostFailedRemapLeavesConsistentBinding(t *testing.T) {
+	pod, err := core.NewPod(core.Config{Hosts: 3, NICsPerHost: 0, SharedSize: 32 << 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, err := pod.Host("host0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := pod.Host("host1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := pod.Host("host2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h1.AddNIC("d1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h2.AddNIC("d2"); err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(pod, "host0", LeastUtilized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RegisterDevice(h1, "d1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RegisterDevice(h2, "d2"); err != nil {
+		t.Fatal(err)
+	}
+	// The victim lands on d1 (first registered at equal load).
+	victim, err := o.Allocate(h0, "victim", core.VNICConfig{BufSize: 512, RxBuffers: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev, _ := o.Assignment("victim"); dev != "d1" {
+		t.Fatalf("victim allocated on %s, want d1", dev)
+	}
+	// An unmanaged tenant occupies 700 of d2's 1024 RX ring slots, so
+	// migrating the victim there will fail partway through Bind — after
+	// the old binding is torn down and channels are live.
+	big := core.NewVirtualNIC(h0, "big", core.VNICConfig{BufSize: 512, RxBuffers: 700})
+	if _, err := big.Bind(h2, "d2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.DrainHost("host1"); err == nil {
+		t.Fatal("drain succeeded despite the replacement rejecting the remap")
+	}
+	// The vNIC must end consistent with the (rolled-back) assignment
+	// map: still recorded on d1 and actually bound there — never
+	// half-bound to d2 while the map says d1.
+	dev, err := o.Assignment("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev != "d1" {
+		t.Fatalf("assignment moved to %s on a failed drain", dev)
+	}
+	if victim.Phys() == nil {
+		t.Fatal("victim left unbound after rollback")
+	}
+	if got := victim.Phys().Name(); got != dev {
+		t.Fatalf("victim bound to %s while the assignment map records %s", got, dev)
+	}
+	// The rolled-back host is fully usable again: its device is back in
+	// the pick set.
+	if _, err := o.PickDevice(h1, "d2"); err != nil {
+		t.Fatalf("d1 not readmitted after drain rollback: %v", err)
+	}
+}

@@ -1,0 +1,175 @@
+package topo
+
+import (
+	"errors"
+	"testing"
+
+	"cxlpool/internal/sim"
+)
+
+func mustTopo(t *testing.T, tp *Topology, err error) *Topology {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+// The default single-row fleet must reproduce the legacy two-tier
+// fabric exactly: any rack pair aggregates to the old inter-rack spine
+// tier (4050 ns one way, 50 GB/s, two links), because the cluster
+// golden pins those bytes.
+func TestDefaultMatchesLegacySpineTier(t *testing.T) {
+	tp := Default()
+	if tp.RackCount() != 4 || tp.RowCount() != 1 {
+		t.Fatalf("default fleet = %v, want 4 racks in 1 row", tp)
+	}
+	for j := 1; j < 4; j++ {
+		p := tp.RackPath(0, j)
+		if p.Hops != 2 || p.Latency != 4050 || p.Bandwidth != 50 {
+			t.Fatalf("rack0->rack%d path = %+v, want {2 4050 50}", j, p)
+		}
+		if p.RTT() != 8100 {
+			t.Fatalf("RTT = %v, want 8100ns", p.RTT())
+		}
+	}
+	intra := tp.IntraRack(0)
+	if intra.Latency != 1050 || intra.Bandwidth != 12.5 {
+		t.Fatalf("intra-rack tier = %+v, want {1050 12.5}", intra)
+	}
+}
+
+// Single-node paths are free: zero hops, zero latency, and transfers
+// of any size cost nothing.
+func TestSingleNodePath(t *testing.T) {
+	tp := Default()
+	for _, d := range []*Domain{tp.Rack(2), tp.Rows()[0], tp.Root(), tp.Rack(0).Children()[1]} {
+		p := tp.Path(d, d)
+		if p.Hops != 0 || p.Latency != 0 {
+			t.Fatalf("self path of %s = %+v, want zero", d.Name, p)
+		}
+		if got := p.Transfer(1 << 20); got != 0 {
+			t.Fatalf("self transfer = %v, want 0", got)
+		}
+	}
+}
+
+// Zero-byte transfers cost exactly one traversal (the control
+// round-trip half), never a serialization term.
+func TestZeroByteTransfer(t *testing.T) {
+	tp := Default()
+	p := tp.RackPath(0, 1)
+	if got := p.Transfer(0); got != p.Latency {
+		t.Fatalf("zero-byte transfer = %v, want latency %v", got, p.Latency)
+	}
+	if got := p.Transfer(-8); got != p.Latency {
+		t.Fatalf("negative-size transfer = %v, want latency %v", got, p.Latency)
+	}
+}
+
+// Bandwidth aggregation picks the bottleneck link on heterogeneous
+// paths: a 40G rack's bundled uplink (20 GB/s) caps any path touching
+// it, while the 100G pair keeps the full 50 GB/s.
+func TestBandwidthBottleneckSelection(t *testing.T) {
+	het, err := Heterogeneous([]RackSpec{{}, {NICGbps: 40}, {}})
+	tp := mustTopo(t, het, err)
+	if bw := tp.RackPath(0, 1).Bandwidth; bw != 20 {
+		t.Fatalf("100G->40G bottleneck = %v, want 20", bw)
+	}
+	if bw := tp.RackPath(1, 0).Bandwidth; bw != 20 {
+		t.Fatalf("path bottleneck not symmetric: %v", bw)
+	}
+	if bw := tp.RackPath(0, 2).Bandwidth; bw != 50 {
+		t.Fatalf("100G->100G bottleneck = %v, want 50", bw)
+	}
+	// The slower path serializes the same payload more slowly.
+	if fast, slow := tp.RackPath(0, 2).Transfer(16<<20), tp.RackPath(0, 1).Transfer(16<<20); slow <= fast {
+		t.Fatalf("bottlenecked transfer %v not slower than full-rate %v", slow, fast)
+	}
+}
+
+// Cross-row paths cross four links and the core, and cost strictly
+// more than same-row paths; host-level paths traverse their rack ToRs.
+func TestMultiRowPathAggregation(t *testing.T) {
+	mr, err := MultiRow(2, 2, RackSpec{})
+	tp := mustTopo(t, mr, err)
+	same, cross := tp.RackPath(0, 1), tp.RackPath(0, 2)
+	if same.Hops != 2 || cross.Hops != 4 {
+		t.Fatalf("hops: same-row %d cross-row %d, want 2 and 4", same.Hops, cross.Hops)
+	}
+	if cross.Latency <= same.Latency {
+		t.Fatalf("cross-row latency %v not above same-row %v", cross.Latency, same.Latency)
+	}
+	if !tp.SameRow(0, 1) || tp.SameRow(1, 2) || tp.RowOf(3) != 1 {
+		t.Fatal("row membership wrong")
+	}
+	// Host under rack0 to host under rack1: two host links, two rack
+	// uplinks, two ToR transits, one spine transit.
+	a, b := tp.Rack(0).Children()[0], tp.Rack(1).Children()[0]
+	hp := tp.Path(a, b)
+	if hp.Hops != 4 {
+		t.Fatalf("host-to-host hops = %d, want 4", hp.Hops)
+	}
+	wantLat := 2*450 + 2*600 + same.Latency // host cables + ToR transits + rack pair
+	if hp.Latency != sim.Duration(wantLat) {
+		t.Fatalf("host-to-host latency = %v, want %d", hp.Latency, wantLat)
+	}
+	// Host to its own rack domain: one link up, no transit.
+	up := tp.Path(a, tp.Rack(0))
+	if up.Hops != 1 || up.Latency != 450 {
+		t.Fatalf("host->own-rack path = %+v, want {1 450 ...}", up)
+	}
+}
+
+// Preset splits racks contiguously, applies heterogeneity to odd
+// racks, and validates its inputs.
+func TestPreset(t *testing.T) {
+	pr, err := Preset(7, 3, "nic")
+	tp := mustTopo(t, pr, err)
+	if tp.RackCount() != 7 || tp.RowCount() != 3 {
+		t.Fatalf("preset shape = %v", tp)
+	}
+	// 7 racks over 3 rows: 3+2+2.
+	counts := []int{}
+	for _, row := range tp.Rows() {
+		counts = append(counts, len(row.Children()))
+	}
+	if counts[0] != 3 || counts[1] != 2 || counts[2] != 2 {
+		t.Fatalf("row split = %v, want [3 2 2]", counts)
+	}
+	for i, r := range tp.Racks() {
+		want := float64(DefaultNICGbps)
+		if i%2 == 1 {
+			want = 40
+		}
+		if r.Spec.NICGbps != want {
+			t.Fatalf("rack %d NIC rate = %g, want %g", i, r.Spec.NICGbps, want)
+		}
+	}
+	for _, bad := range []func() (*Topology, error){
+		func() (*Topology, error) { return Preset(0, 1, "none") },
+		func() (*Topology, error) { return Preset(4, 5, "none") },
+		func() (*Topology, error) { return Preset(4, 2, "bogus") },
+		func() (*Topology, error) { return Uniform(2, RackSpec{Hosts: 1}) },
+		func() (*Topology, error) { return New(nil) },
+		func() (*Topology, error) { return New([][]RackSpec{{}}) },
+	} {
+		if _, err := bad(); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("invalid topology accepted (err=%v)", err)
+		}
+	}
+}
+
+// Specs normalize zero fields to the documented defaults and derive
+// device counts and capacity.
+func TestRackSpecDefaults(t *testing.T) {
+	u, err := Uniform(1, RackSpec{})
+	tp := mustTopo(t, u, err)
+	s := tp.Rack(0).Spec
+	if s.Hosts != 3 || s.NICsPerHost != 1 || s.NICGbps != 100 || s.DeviceMiB != 128 {
+		t.Fatalf("normalized spec = %+v", s)
+	}
+	if s.Devices() != 2 || s.CapacityGbps() != 200 || s.NICRate() != 12.5 {
+		t.Fatalf("derived: devices=%d capacity=%g rate=%v", s.Devices(), s.CapacityGbps(), s.NICRate())
+	}
+}

@@ -156,7 +156,7 @@ func Analyze(cfg Config) ([]Result, error) {
 	results = append(results, Result{
 		Design:                  ToRLess,
 		HostUnreachableAnalytic: 1 - (1-pathDown)*(1-allNICsDown),
-		RackOutageAnalytic:      1 - (1-allNICsDown)*math.Pow(1-pathDown, float64(cfg.PodSize)),
+		RackOutageAnalytic:      AnalyticRackOutage(cfg),
 	})
 
 	// Monte-Carlo validation.
@@ -166,6 +166,21 @@ func Analyze(cfg Config) ([]Result, error) {
 		results[i].RackOutage = ro
 	}
 	return results, nil
+}
+
+// AnalyticRackOutage returns the closed-form ToR-less rack (pod)
+// outage probability for one pod design: every pooled NIC path down,
+// or every host's λ-redundant MHD path down. This is the per-domain
+// building block the cluster layer's availability reporting multiplies
+// up the topology tree — heterogeneous racks feed their own PodSize
+// and PooledNICs and get their own figure.
+func AnalyticRackOutage(cfg Config) float64 {
+	cfg.defaults()
+	p := cfg.Probs
+	pathDown := math.Pow(p.MHD, float64(cfg.Lambda))
+	nicPathDown := 1 - (1-p.NIC)*(1-p.AggLink)
+	allNICsDown := math.Pow(nicPathDown, float64(cfg.PooledNICs))
+	return 1 - (1-allNICsDown)*math.Pow(1-pathDown, float64(cfg.PodSize))
 }
 
 // monteCarlo samples component failures and evaluates reachability.
