@@ -297,6 +297,18 @@ func BenchmarkMultiRow(b *testing.B) {
 	}
 }
 
+// BenchmarkFailuresScenario regenerates E16 end to end: the scripted
+// rack-kill storyline against the default remediation rules, through
+// the full scenario layer (schedule build, epoch loop with fault
+// strikes/repairs, policy heartbeats, report rendering).
+func BenchmarkFailuresScenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunText(io.Discard, "failures", int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkStorageComparison regenerates E12: local vs CXL-pooled vs
 // NVMe-oF 4K read latency on two media profiles.
 func BenchmarkStorageComparison(b *testing.B) {

@@ -32,7 +32,9 @@ import (
 	"fmt"
 
 	"cxlpool/internal/core"
+	"cxlpool/internal/faults"
 	"cxlpool/internal/metrics"
+	"cxlpool/internal/nicsim"
 	"cxlpool/internal/orch"
 	"cxlpool/internal/params"
 	"cxlpool/internal/runner"
@@ -63,6 +65,7 @@ const (
 var (
 	ErrUnknownRack  = errors.New("cluster: unknown rack")
 	ErrDraining     = errors.New("cluster: rack is draining")
+	ErrRackDead     = errors.New("cluster: rack is dead")
 	ErrNotFederated = errors.New("cluster: federation disabled")
 )
 
@@ -94,6 +97,13 @@ type Config struct {
 	TenantState int
 	// Workers bounds parallel rack simulation (<= 0: GOMAXPROCS).
 	Workers int
+	// Faults is the deterministic fault schedule injected into the
+	// epoch loop (nil: nothing ever breaks — the legacy behavior).
+	Faults *faults.Schedule
+	// Remediate holds the declarative remediation rules the global
+	// orchestrator evaluates each heartbeat (nil: the policy engine is
+	// off and faults are tolerated, never reacted to).
+	Remediate *Remediation
 }
 
 func (c Config) withDefaults() Config {
@@ -243,6 +253,21 @@ type Rack struct {
 	sinkNICs []string
 	clock    sim.Time
 	draining bool
+	// drainedBy records who initiated the drain: policy reopen only
+	// reverses policy drains, never an operator's.
+	drainedBy drainCause
+	// dead marks a killed failure domain: the orchestrator is down,
+	// placement skips it, and its epochs deliver nothing.
+	dead bool
+	// capScale is the effective-capacity multiplier under a slow-CXL
+	// degradation (1 = healthy).
+	capScale float64
+	// faultClearedAt is the epoch a fault targeting this rack last
+	// repaired (-1: never) — the policy engine's "repaired" signal.
+	faultClearedAt int
+	// poolNICs are the pooled NIC handles in registration order, so
+	// fault injection can flap a device without a pod lookup.
+	poolNICs []*nicsim.NIC
 
 	capacityGbps   float64
 	deliveredBytes uint64
@@ -257,8 +282,20 @@ type Rack struct {
 	payload []byte
 }
 
+// drainCause records who initiated a rack drain.
+type drainCause int
+
+const (
+	drainNone drainCause = iota
+	drainOperator
+	drainPolicy
+)
+
 // Draining reports whether the rack is under maintenance drain.
 func (r *Rack) Draining() bool { return r.draining }
+
+// Dead reports whether the rack is currently killed by a fault.
+func (r *Rack) Dead() bool { return r.dead }
 
 // CapacityGbps is the rack's aggregate pooled-NIC line rate.
 func (r *Rack) CapacityGbps() float64 { return r.capacityGbps }
@@ -280,6 +317,20 @@ type Cluster struct {
 	sameRowMigs  uint64
 	crossRowMigs uint64
 
+	// Fault-engine state: faults struck so far (never removed; closed
+	// ones keep their recovery epoch), active fabric brownouts, MTTR
+	// accounting, and the measured dead-rack-epoch tally the analytic
+	// availability figures are checked against.
+	active         []*activeFault
+	brownouts      []brownout
+	mttr           faults.MTTR
+	deadRackEpochs uint64
+	rackEpochs     uint64
+	// Remediation accounting: tenant moves the policy engine initiated
+	// and their modeled re-placement downtime.
+	remedMoves    int
+	remedDowntime sim.Duration
+
 	epoch int
 }
 
@@ -300,12 +351,23 @@ type EpochStats struct {
 	MigCrossRow   int
 	Repatriations int
 	Unplaced      int
+	// Fault-engine view this epoch: racks dead while traffic ran,
+	// faults struck-but-unrepaired, and remediation actions the policy
+	// heartbeat applied.
+	DeadRacks     int
+	FaultsActive  int
+	PolicyActions int
 }
 
 // New builds the racks, their orchestrators, and the tenant
 // population, and places every tenant (epoch-0 placement).
 func New(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(cfg.Topo.RackCount(), cfg.Topo.RowCount()); err != nil {
+			return nil, err
+		}
+	}
 	c := &Cluster{
 		cfg:           cfg,
 		placedLocal:   metrics.NewCounterSet(),
@@ -381,10 +443,12 @@ func (c *Cluster) buildRack(idx int) (*Rack, error) {
 		return nil, err
 	}
 	rack := &Rack{
-		Name:    fmt.Sprintf("rack%d", idx),
-		Pod:     pod,
-		index:   idx,
-		payload: make([]byte, payloadBytes),
+		Name:           fmt.Sprintf("rack%d", idx),
+		Pod:            pod,
+		index:          idx,
+		capScale:       1,
+		faultClearedAt: -1,
+		payload:        make([]byte, payloadBytes),
 	}
 	for i := range rack.payload {
 		rack.payload[i] = byte(i)
@@ -420,6 +484,7 @@ func (c *Cluster) buildRack(idx int) (*Rack, error) {
 				return nil, err
 			}
 			rack.capacityGbps += float64(nic.LineRate()) * 8
+			rack.poolNICs = append(rack.poolNICs, nic)
 			devices++
 		}
 	}
@@ -488,10 +553,11 @@ func (c *Cluster) offeredGbps(rackIdx int) float64 {
 // loads inside each orch corroborate it in the epoch stats.
 func (c *Cluster) pressure(rackIdx int) float64 {
 	r := c.racks[rackIdx]
-	if r.capacityGbps == 0 {
+	cap := r.capacityGbps * r.capScale
+	if cap == 0 {
 		return 1
 	}
-	return c.offeredGbps(rackIdx) / r.capacityGbps
+	return c.offeredGbps(rackIdx) / cap
 }
 
 // userFor returns the deterministic user host a tenant gets in a rack:
@@ -502,11 +568,11 @@ func (c *Cluster) userFor(t *Tenant, rack *Rack) (*core.Host, error) {
 }
 
 // canServe reports whether a rack could bind the tenant right now: not
-// draining, and its orchestrator's pick primitive finds a usable
-// device (all-failed racks must not attract placements).
+// draining or dead, and its orchestrator's pick primitive finds a
+// usable device (all-failed racks must not attract placements).
 func (c *Cluster) canServe(t *Tenant, rackIdx int) bool {
 	r := c.racks[rackIdx]
-	if r.draining {
+	if r.draining || r.dead {
 		return false
 	}
 	user, err := c.userFor(t, r)
@@ -579,11 +645,25 @@ func (c *Cluster) place(t *Tenant) error {
 			// Home is pressured but serviceable and nothing colder
 			// exists: stay home, degraded.
 		}
-	} else if home.draining {
+	} else if home.draining || home.dead {
 		return fmt.Errorf("%w: %s (federation disabled)", ErrDraining, home.Name)
 	}
 	if err := c.bind(t, target); err != nil {
-		return err
+		if !c.cfg.Federate {
+			return err
+		}
+		// The rack passed canServe but the bind hit rack-local resource
+		// exhaustion (a shared segment filled by fault pile-ons). Try
+		// the next-coldest rack once, then leave the tenant unplaced —
+		// counted and retried next heartbeat — rather than failing the
+		// whole run over one rack's full segment.
+		if alt := c.coldestRackFor(t, target); alt >= 0 && alt != target {
+			if err2 := c.bind(t, alt); err2 == nil {
+				c.placedSpill.Add(c.racks[alt].Name, 1)
+				return nil
+			}
+		}
+		return fmt.Errorf("%w: %v", ErrDraining, err)
 	}
 	if spilled {
 		c.placedSpill.Add(c.racks[target].Name, 1)
@@ -656,7 +736,8 @@ func (c *Cluster) globalSweep() (migrations, repatriations int, err error) {
 	thr := c.cfg.PressureThreshold
 	// Repatriation first: it frees remote capacity for new spills.
 	for _, t := range c.tenants {
-		if t.rack < 0 || t.rack == t.Home || c.racks[t.Home].draining {
+		if t.rack < 0 || t.rack == t.Home ||
+			c.racks[t.Home].draining || c.racks[t.Home].dead {
 			continue
 		}
 		// Hysteresis: come home only if home stays clearly below the
@@ -664,7 +745,11 @@ func (c *Cluster) globalSweep() (migrations, repatriations int, err error) {
 		if c.canServe(t, t.Home) &&
 			(c.offeredGbps(t.Home)+t.gbps)/c.racks[t.Home].capacityGbps <= thr*0.85 {
 			if err := c.migrate(t, t.Home); err != nil {
-				return migrations, repatriations, err
+				// Rack-local resource exhaustion (a segment filled by
+				// fault pile-ons): the tenant is left unplaced and the
+				// next heartbeat re-places it; aborting the run over one
+				// failed move would turn degradation into an outage.
+				continue
 			}
 			migrations++
 			repatriations++
@@ -675,7 +760,10 @@ func (c *Cluster) globalSweep() (migrations, repatriations int, err error) {
 	for pass := 0; pass < len(c.tenants); pass++ {
 		hot, hotP := -1, 0.0
 		for i, r := range c.racks {
-			if r.draining {
+			// Dead racks publish no heartbeats; the sweep reads silence,
+			// not pressure, so remediation there is the policy engine's
+			// job, not this loop's.
+			if r.draining || r.dead {
 				continue
 			}
 			if p := c.pressure(i); p > hotP {
@@ -709,7 +797,7 @@ func (c *Cluster) globalSweep() (migrations, repatriations int, err error) {
 			break // nothing movable without overloading a destination
 		}
 		if err := c.migrate(pick, pickDst); err != nil {
-			return migrations, repatriations, err
+			break // destination bind failed; retried next heartbeat
 		}
 		migrations++
 	}
@@ -720,8 +808,15 @@ func (c *Cluster) globalSweep() (migrations, repatriations int, err error) {
 // resident tenant migrates to the coldest surviving rack, the rack's
 // orchestrator stops, and the rack stops taking placements. Returns
 // the relocated tenant count and the modeled drain cost (sequential
-// state streams over the spine).
+// state streams over the spine). Draining an already-draining rack
+// returns ErrDraining; a dead rack returns ErrRackDead — both leave
+// placement state untouched, so operator drains and policy remediation
+// can race without corruption.
 func (c *Cluster) DrainRack(idx int) (int, sim.Duration, error) {
+	return c.drainRack(idx, drainOperator)
+}
+
+func (c *Cluster) drainRack(idx int, by drainCause) (int, sim.Duration, error) {
 	if idx < 0 || idx >= len(c.racks) {
 		return 0, 0, fmt.Errorf("%w: %d", ErrUnknownRack, idx)
 	}
@@ -732,7 +827,11 @@ func (c *Cluster) DrainRack(idx int) (int, sim.Duration, error) {
 	if rack.draining {
 		return 0, 0, fmt.Errorf("%w: %s", ErrDraining, rack.Name)
 	}
+	if rack.dead {
+		return 0, 0, fmt.Errorf("%w: %s", ErrRackDead, rack.Name)
+	}
 	rack.draining = true
+	rack.drainedBy = by
 	moved := 0
 	var cost sim.Duration
 	for _, t := range c.tenants {
@@ -741,11 +840,11 @@ func (c *Cluster) DrainRack(idx int) (int, sim.Duration, error) {
 		}
 		dst := c.coldestRackFor(t, idx)
 		if dst < 0 {
-			rack.draining = false
+			rack.draining, rack.drainedBy = false, drainNone
 			return moved, cost, fmt.Errorf("cluster: draining %s: no surviving rack", rack.Name)
 		}
 		if err := c.migrate(t, dst); err != nil {
-			rack.draining = false
+			rack.draining, rack.drainedBy = false, drainNone
 			return moved, cost, err
 		}
 		moved++
@@ -756,6 +855,64 @@ func (c *Cluster) DrainRack(idx int) (int, sim.Duration, error) {
 	}
 	rack.Orch.Stop()
 	return moved, cost, nil
+}
+
+// ReopenRack reverses a drain: the rack's orchestrator restarts and the
+// rack takes placements again. Tenants do not move back eagerly — the
+// global sweep (or a repatriate rule) brings them home as pressure
+// allows.
+func (c *Cluster) ReopenRack(idx int) error {
+	if idx < 0 || idx >= len(c.racks) {
+		return fmt.Errorf("%w: %d", ErrUnknownRack, idx)
+	}
+	return c.reopenRack(idx)
+}
+
+func (c *Cluster) reopenRack(idx int) error {
+	rack := c.racks[idx]
+	if rack.dead {
+		return fmt.Errorf("%w: %s", ErrRackDead, rack.Name)
+	}
+	if !rack.draining {
+		return fmt.Errorf("cluster: %s is not draining", rack.Name)
+	}
+	rack.draining, rack.drainedBy = false, drainNone
+	return rack.Orch.Start()
+}
+
+// KillRack marks a rack dead, as a fault would: its orchestrator stops
+// and its residents are stranded in place (no evacuation — that is the
+// remediation layer's job). Killing a dead rack returns ErrRackDead.
+func (c *Cluster) KillRack(idx int) error {
+	if idx < 0 || idx >= len(c.racks) {
+		return fmt.Errorf("%w: %d", ErrUnknownRack, idx)
+	}
+	rack := c.racks[idx]
+	if rack.dead {
+		return fmt.Errorf("%w: %s", ErrRackDead, rack.Name)
+	}
+	rack.dead = true
+	rack.Orch.Stop()
+	return nil
+}
+
+// RepairRack revives a killed rack: the orchestrator restarts (unless
+// the rack is also draining) and the rack reads as freshly repaired to
+// the policy engine.
+func (c *Cluster) RepairRack(idx int) error {
+	if idx < 0 || idx >= len(c.racks) {
+		return fmt.Errorf("%w: %d", ErrUnknownRack, idx)
+	}
+	rack := c.racks[idx]
+	if !rack.dead {
+		return fmt.Errorf("cluster: %s is not dead", rack.Name)
+	}
+	rack.dead = false
+	rack.faultClearedAt = c.epoch
+	if !rack.draining {
+		return rack.Orch.Start()
+	}
+	return nil
 }
 
 // RunEpoch advances the whole cluster one epoch: update demand from
@@ -777,6 +934,16 @@ func (c *Cluster) RunEpoch() (EpochStats, error) {
 		if t.gbps > tenantCapGbps {
 			t.gbps = tenantCapGbps
 		}
+	}
+	// Scheduled physical repairs land first, so the policy heartbeat
+	// below sees post-repair state (reopen/repatriate rules trigger the
+	// same epoch a fault clears); strikes land last, after the whole
+	// control plane, so detection is always the next heartbeat.
+	if c.cfg.Faults != nil {
+		c.applyRepairs(e)
+	}
+	if c.cfg.Remediate != nil {
+		st.PolicyActions = c.runPolicy(e)
 	}
 	// Initial placement (epoch 0) and placement of any tenant a failed
 	// earlier sweep left unplaced.
@@ -805,6 +972,17 @@ func (c *Cluster) RunEpoch() (EpochStats, error) {
 	for i := range c.racks {
 		st.Pressure[i] = c.pressure(i)
 	}
+	if c.cfg.Faults != nil {
+		c.applyStrikes(e)
+	}
+	for _, r := range c.racks {
+		if r.dead {
+			st.DeadRacks++
+		}
+	}
+	c.deadRackEpochs += uint64(st.DeadRacks)
+	c.rackEpochs += uint64(len(c.racks))
+	st.FaultsActive = c.openFaults()
 	// Simulate every rack's epoch in parallel; racks share nothing, so
 	// the fan-out is free determinism-wise (golden-tested).
 	delivered0 := make([]uint64, len(c.racks))
@@ -833,6 +1011,9 @@ func (c *Cluster) RunEpoch() (EpochStats, error) {
 		st.OfferedGbps[i] = float64(offered-offered0[i]) * 8 / secs / 1e9
 		st.DeliveredGbps[i] = float64(r.deliveredBytes-delivered0[i]) * 8 / secs / 1e9
 		st.MeasuredLoad[i], _ = r.Orch.MeanLoad()
+	}
+	if c.cfg.Faults != nil {
+		c.checkRecoveries(e)
 	}
 	c.epoch++
 	return st, nil
@@ -874,6 +1055,26 @@ func (p *tenantPump) fire() {
 // rack-local and resident-tenant state.
 func (c *Cluster) runRackEpoch(r *Rack) error {
 	start, end := r.clock, r.clock+c.cfg.Epoch
+	if r.dead {
+		// A dead rack's residents still offer their demand — it just
+		// goes nowhere. Accrue exactly the bytes the pumps would have
+		// generated (fire count is ceil(epoch/interval)) without
+		// advancing the engine; it resumes, with whatever events were
+		// queued, when the rack is repaired.
+		for _, t := range c.tenants {
+			if t.rack != r.index || t.gbps <= 0 {
+				continue
+			}
+			interval := sim.Duration(float64(payloadBytes*8) / t.gbps)
+			if interval < 1 {
+				interval = 1
+			}
+			n := (c.cfg.Epoch + interval - 1) / interval
+			t.offeredBytes += uint64(n) * payloadBytes
+		}
+		r.clock = end
+		return nil
+	}
 	for _, t := range c.tenants {
 		if t.rack != r.index || t.gbps <= 0 {
 			continue

@@ -51,6 +51,50 @@ func (c *Cluster) IntraRackTier() Tier {
 	return TierFromLink("intra-rack (ToR)", c.cfg.Topo.IntraRack(0))
 }
 
+// brownout is one active partial fabric degradation: the bandwidth of
+// the src<->dst path scales by `scale` until the fault repairs.
+type brownout struct {
+	src, dst int
+	scale    float64
+}
+
+// covers reports whether the brownout degrades the a<->b path: a
+// same-row brownout pins exactly its rack pair (both directions); a
+// cross-row one browns the whole row-to-row bundle, so every rack pair
+// spanning those rows is taxed.
+func (b brownout) covers(t *topo.Topology, a, c int) bool {
+	if (a == b.src && c == b.dst) || (a == b.dst && c == b.src) {
+		return true
+	}
+	if t.SameRow(b.src, b.dst) {
+		return false
+	}
+	ra, rc := t.RowOf(a), t.RowOf(c)
+	rs, rd := t.RowOf(b.src), t.RowOf(b.dst)
+	return (ra == rs && rc == rd) || (ra == rd && rc == rs)
+}
+
+// rackPath is the topology path with active brownouts applied: the
+// worst covering brownout scales the path's bottleneck bandwidth. All
+// fabric cost models route through here so a brownout is felt by
+// migrations, drains, and spill penalties alike.
+func (c *Cluster) rackPath(src, dst int) topo.Path {
+	p := c.cfg.Topo.RackPath(src, dst)
+	if len(c.brownouts) == 0 || src == dst {
+		return p
+	}
+	scale := 1.0
+	for _, b := range c.brownouts {
+		if b.covers(c.cfg.Topo, src, dst) && b.scale < scale {
+			scale = b.scale
+		}
+	}
+	if scale < 1 {
+		p.Bandwidth = mem.GBps(float64(p.Bandwidth) * scale)
+	}
+	return p
+}
+
 // InterRackTier is the aggregated rack-to-rack tier between racks a
 // and b, named by whether the path stays inside one row.
 func (c *Cluster) InterRackTier(a, b int) Tier {
@@ -58,7 +102,7 @@ func (c *Cluster) InterRackTier(a, b int) Tier {
 	if !c.cfg.Topo.SameRow(a, b) {
 		name = "cross-row (core)"
 	}
-	return TierFromPath(name, c.cfg.Topo.RackPath(a, b))
+	return TierFromPath(name, c.rackPath(a, b))
 }
 
 // MigrationCost models one cross-rack tenant move from rack src to
@@ -67,7 +111,7 @@ func (c *Cluster) InterRackTier(a, b int) Tier {
 // bottleneck bandwidth. Costs are charged per path, so a cross-row
 // move is dearer than a same-row one.
 func (c *Cluster) MigrationCost(src, dst int) sim.Duration {
-	p := c.cfg.Topo.RackPath(src, dst)
+	p := c.rackPath(src, dst)
 	return p.RTT() + p.Bandwidth.TransferTime(c.cfg.TenantState)
 }
 
@@ -75,5 +119,5 @@ func (c *Cluster) MigrationCost(src, dst int) sim.Duration {
 // pays while its device lives in rack dst and its compute in rack src:
 // doorbell out and completion back, both across the path.
 func (c *Cluster) RemotePenalty(src, dst int) sim.Duration {
-	return c.cfg.Topo.RackPath(src, dst).RTT()
+	return c.rackPath(src, dst).RTT()
 }

@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"cxlpool/internal/faults"
+	"cxlpool/internal/sim"
+	"cxlpool/internal/workload"
+)
+
+// faultConfig is a small federated fleet with a mild hotspot, sized so
+// one dead rack's tenants always fit elsewhere.
+func faultConfig(t *testing.T, racks int, seed int64) Config {
+	t.Helper()
+	return Config{
+		Topo:           uniformTopo(t, racks),
+		TenantsPerRack: 3,
+		Seed:           seed,
+		Federate:       true,
+		Epoch:          200 * sim.Microsecond,
+		Skew:           workload.RackSkew{HotFactor: 4, Period: 2},
+	}
+}
+
+// Satellite regression: draining an already-draining or dead rack must
+// return the typed sentinel and leave placement state untouched.
+func TestDrainRackTypedErrors(t *testing.T) {
+	c, err := New(faultConfig(t, 4, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	moved, _, err := c.DrainRack(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("drain moved nobody")
+	}
+	snapshot := func() string {
+		s := ""
+		for _, tn := range c.Tenants() {
+			s += fmt.Sprintf("%s@%d;", tn.Name, tn.Rack())
+		}
+		return s
+	}
+	before := snapshot()
+
+	// Double drain: typed error, no tenant moves.
+	if _, _, err := c.DrainRack(1); !errors.Is(err, ErrDraining) {
+		t.Fatalf("double drain = %v, want ErrDraining", err)
+	}
+	if got := snapshot(); got != before {
+		t.Fatal("failed drain moved tenants")
+	}
+
+	// Drain of a dead rack: typed error, no tenant moves.
+	if err := c.KillRack(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.DrainRack(2); !errors.Is(err, ErrRackDead) {
+		t.Fatalf("drain of dead rack = %v, want ErrRackDead", err)
+	}
+	if got := snapshot(); got != before {
+		t.Fatal("failed drain of dead rack moved tenants")
+	}
+	if _, _, err := c.DrainRack(99); !errors.Is(err, ErrUnknownRack) {
+		t.Fatalf("drain of bogus rack = %v, want ErrUnknownRack", err)
+	}
+
+	// The cluster still runs and the drained rack stays empty.
+	if _, err := c.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tn := range c.Tenants() {
+		if tn.Rack() == 1 {
+			t.Fatalf("tenant %s placed on draining rack", tn.Name)
+		}
+	}
+	if err := c.ReopenRack(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKillAndRepairRack(t *testing.T) {
+	c, err := New(faultConfig(t, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillRack(0); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Racks()[0].Dead() {
+		t.Fatal("killed rack not dead")
+	}
+	if err := c.KillRack(0); !errors.Is(err, ErrRackDead) {
+		t.Fatalf("double kill = %v, want ErrRackDead", err)
+	}
+	if err := c.ReopenRack(0); !errors.Is(err, ErrRackDead) {
+		t.Fatalf("reopen of dead rack = %v, want ErrRackDead", err)
+	}
+	if err := c.RepairRack(1); err == nil {
+		t.Fatal("repair of a live rack succeeded")
+	}
+	// A dead rack's epoch still runs (tenants accrue offered demand,
+	// deliver nothing) without touching the stopped engine.
+	st, err := c.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DeadRacks != 1 {
+		t.Fatalf("DeadRacks = %d, want 1", st.DeadRacks)
+	}
+	if st.DeliveredGbps[0] != 0 {
+		t.Fatalf("dead rack delivered %.2f Gbps", st.DeliveredGbps[0])
+	}
+	if err := c.RepairRack(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Racks()[0].Dead() {
+		t.Fatal("repaired rack still dead")
+	}
+	st, err = c.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DeadRacks != 0 {
+		t.Fatalf("DeadRacks = %d after repair", st.DeadRacks)
+	}
+}
+
+func TestParseRuleGrammar(t *testing.T) {
+	r, err := ParseRule("when rack.repaired == 1 && rack.pressure <= 0.6 -> repatriate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scope != ScopeRack || r.Action != ActRepatriate || len(r.Conds) != 2 {
+		t.Fatalf("parsed rule wrong: %+v", r)
+	}
+	if r.Conds[1].Sig != SigPressure || r.Conds[1].Op != OpLE || r.Conds[1].Val != 0.6 {
+		t.Fatalf("second condition wrong: %+v", r.Conds[1])
+	}
+	// "unreachable" aliases dead.
+	r, err = ParseRule("when row.unreachable == 1 -> migrate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scope != ScopeRow || r.Conds[0].Sig != SigDead {
+		t.Fatalf("alias rule wrong: %+v", r)
+	}
+	for _, bad := range []string{
+		"",
+		"drain rack 3",
+		"when rack.dead == 1",                           // missing action
+		"when rack.dead == 1 -> explode",                // unknown action
+		"when rack.vibes == 1 -> drain",                 // unknown signal
+		"when pod.dead == 1 -> drain",                   // unknown scope
+		"when rack.dead ~= 1 -> drain",                  // unknown operator
+		"when rack.dead == soon -> drain",               // non-numeric threshold
+		"when rack.dead == 1 && row.dead == 1 -> drain", // mixed scopes
+		"when rack.dead == 1 rack.dead == 1 -> drain",   // missing &&
+	} {
+		if _, err := ParseRule(bad); !errors.Is(err, ErrBadRule) {
+			t.Errorf("ParseRule(%q) = %v, want ErrBadRule", bad, err)
+		}
+	}
+	if def := DefaultRules(); def.Len() != 6 {
+		t.Fatalf("DefaultRules has %d rules", def.Len())
+	}
+}
+
+// The acceptance criterion: with remediation on, rack-kill MTTR is
+// measurably lower than with remediation off (policy evacuates at the
+// next heartbeat instead of waiting out the repair).
+func TestPolicyCutsRackKillMTTR(t *testing.T) {
+	run := func(remediate bool) *Cluster {
+		sched, err := faults.Scripted(
+			faults.Event{Class: faults.RackKill, At: 2, Duration: 4, Rack: 1},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := faultConfig(t, 4, 7)
+		cfg.Faults = sched
+		if remediate {
+			cfg.Remediate = DefaultRules()
+		}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Run(10); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	on, off := run(true), run(false)
+	mOn, mOff := on.MTTR(), off.MTTR()
+	if mOn.Count(faults.RackKill) != 1 || mOff.Count(faults.RackKill) != 1 {
+		t.Fatalf("recoveries on/off = %d/%d, want 1/1",
+			mOn.Count(faults.RackKill), mOff.Count(faults.RackKill))
+	}
+	tOn, tOff := mOn.MeanEpochs(faults.RackKill), mOff.MeanEpochs(faults.RackKill)
+	if tOn >= tOff {
+		t.Fatalf("policy MTTR %.2f not below tolerate-only %.2f", tOn, tOff)
+	}
+	moves, downtime := on.RemediationCost()
+	if moves == 0 || downtime == 0 {
+		t.Fatal("remediation recorded no moves/downtime")
+	}
+	// The tolerate-only run leaves the kill exposed its whole duration.
+	if tOff != 4 {
+		t.Fatalf("tolerate-only MTTR %.2f, want the 4-epoch duration", tOff)
+	}
+}
+
+func TestBrownoutTaxesFabricPaths(t *testing.T) {
+	sched, err := faults.Scripted(
+		faults.Event{Class: faults.Brownout, At: 0, Duration: 3, Src: 0, Dst: 2, Severity: 0.25},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := faultConfig(t, 4, 3)
+	cfg.Faults = sched
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := c.MigrationCost(0, 2)
+	other := c.MigrationCost(0, 1)
+	if _, err := c.RunEpoch(); err != nil { // strike applies during e0
+		t.Fatal(err)
+	}
+	browned := c.MigrationCost(0, 2)
+	if browned <= healthy {
+		t.Fatalf("brownout did not raise path cost: %v <= %v", browned, healthy)
+	}
+	if got := c.MigrationCost(0, 1); got != other {
+		t.Fatalf("brownout leaked onto an uncovered path: %v != %v", got, other)
+	}
+	// Fault records close after repair and the path heals.
+	if _, err := c.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MigrationCost(0, 2); got != healthy {
+		t.Fatalf("path still taxed after repair: %v != %v", got, healthy)
+	}
+	recs := c.FaultRecords()
+	if len(recs) != 1 || recs[0].Recovered < 0 {
+		t.Fatalf("fault record not closed: %+v", recs)
+	}
+}
+
+func TestFaultedClusterDeterministicAcrossWorkers(t *testing.T) {
+	trace := func(workers int) string {
+		sched, err := faults.Random(faults.RandomConfig{
+			Epochs: 8, Racks: 4, Rows: 1, Rate: 0.6, Seed: 21,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := faultConfig(t, 4, 21)
+		cfg.Workers = workers
+		cfg.Faults = sched
+		cfg.Remediate = DefaultRules()
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := c.Run(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ""
+		for _, st := range stats {
+			out += fmt.Sprintf("%+v\n", st)
+		}
+		for _, rec := range c.FaultRecords() {
+			out += fmt.Sprintf("%v struck=%d recovered=%d\n", rec.Event, rec.Struck, rec.Recovered)
+		}
+		dead, total := c.SimulatedRackOutage()
+		out += fmt.Sprintf("outage=%d/%d mttr=%d\n", dead, total, c.MTTR().Total())
+		return out
+	}
+	if a, b := trace(1), trace(4); a != b {
+		t.Fatalf("faulted cluster diverges across worker counts:\n--- workers=1\n%s\n--- workers=4\n%s", a, b)
+	}
+}

