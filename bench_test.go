@@ -9,7 +9,9 @@
 package cxlpool
 
 import (
+	"context"
 	"io"
+	"strconv"
 	"testing"
 
 	"cxlpool/internal/cluster"
@@ -304,6 +306,38 @@ func BenchmarkMultiRow(b *testing.B) {
 func BenchmarkFailuresScenario(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := experiments.RunText(io.Discard, "failures", int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFailuresCorrelated exercises the correlated-domain path of
+// E16: the mixed storyline (every class, including pdufail domain
+// kills, cracfail row throttles, and hostkill partial degradations)
+// under a single starved repair crew — schedule validation, the crew
+// priority queue, rate-limited policy heartbeats, the headline
+// rate-limit sweep, and report rendering.
+func BenchmarkFailuresCorrelated(b *testing.B) {
+	s, ok := experiments.Lookup("failures")
+	if !ok {
+		b.Fatal("failures not registered")
+	}
+	for i := 0; i < b.N; i++ {
+		p := s.NewParams()
+		for name, v := range map[string]string{
+			"seed":  strconv.Itoa(i),
+			"class": "mix",
+			"crews": "1",
+		} {
+			if err := p.Set(name, v); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rep, err := s.Run(context.Background(), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.WriteString(io.Discard, rep.Text()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -191,122 +191,168 @@ func TestChaosRandomFaults(t *testing.T) {
 
 // TestChaosClusterFaults promotes the chaos suite to the cluster
 // level: a multi-rack federated fleet rides out a randomized fault
-// schedule (rack kills, spine deaths, flapping NICs, slow devices,
-// brownouts) with the default remediation rules on, while a live
-// rack's orchestrator is stopped and restarted mid-fault. After every
-// heartbeat the placement safety invariant must hold: no tenant sits
-// on a rack that has been dead for a full heartbeat while a live,
-// undrained rack clearly has capacity. Once the schedule's horizon
-// passes, the fleet must converge back to fully-placed, fully-live.
+// schedule with the default remediation rules on, while a live rack's
+// orchestrator is stopped and restarted mid-fault. Two storm variants
+// run per seed: the independent storm (rack kills, spine deaths,
+// flapping NICs, slow devices, brownouts) with free repairs, and a
+// correlated storm that adds pdufail domain strikes and hostkill
+// partial degradations while starving the fleet down to a single
+// repair crew. After every heartbeat the placement safety invariant
+// must hold: no tenant sits on a rack that has been dead for a full
+// heartbeat while a live, undrained rack clearly has capacity. Once
+// every repair has landed — for the starved variant that is the strike
+// horizon plus the crew's serialized backlog — the fleet must converge
+// back to fully-placed, fully-live.
 func TestChaosClusterFaults(t *testing.T) {
 	const racks = 5
-	for seed := int64(1); seed <= chaosSeeds(); seed++ {
-		seed := seed
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			sched, err := faults.Random(faults.RandomConfig{
-				Epochs: 8, Racks: racks, Rows: 1,
-				Rate: 0.7, MaxDuration: 3, Seed: seed,
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			tp, err := topo.Uniform(racks, topo.RackSpec{})
-			if err != nil {
-				t.Fatal(err)
-			}
-			c, err := cluster.New(cluster.Config{
-				Topo:           tp,
-				TenantsPerRack: 3,
-				Seed:           seed,
-				Federate:       true,
-				Epoch:          200 * sim.Microsecond,
-				Skew:           workload.RackSkew{HotFactor: 4, Period: 2},
-				Faults:         sched,
-				Remediate:      cluster.DefaultRules(),
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			// continuousDead reports whether one kill event keeps the
-			// rack dead across the control plane of epoch e: struck at
-			// an earlier heartbeat, not repaired until a later one. Only
-			// then has the policy engine seen the rack dead for a full
-			// cycle (a repair-then-re-kill inside one cycle gives it no
-			// window to act).
-			continuousDead := func(idx, e int) bool {
-				for _, ev := range sched.Events() {
-					if ev.At >= e || ev.RepairAt() <= e {
-						continue
-					}
-					if ev.Class == faults.RackKill && ev.Rack == idx {
-						return true
-					}
-					if ev.Class == faults.RowKill { // rows=1: whole fleet
-						return true
-					}
-				}
-				return false
-			}
-			epochs := sched.Horizon() + 4
-			var delivered float64
-			for e := 0; e < epochs; e++ {
-				// Mid-fault control-plane restart: at one-third of the
-				// run, bounce the first live rack's orchestrator. The
-				// next heartbeat must carry on as if nothing happened.
-				if e == epochs/3 {
-					for _, r := range c.Racks() {
-						if !r.Dead() && !r.Draining() {
-							r.Orch.Stop()
-							if err := r.Orch.Start(); err != nil {
-								t.Fatalf("orchestrator restart: %v", err)
-							}
-							break
-						}
-					}
-				}
-				st, err := c.RunEpoch()
-				if err != nil {
-					t.Fatalf("epoch %d: %v", e, err)
-				}
-				for i := range c.Racks() {
-					delivered += st.DeliveredGbps[i]
-				}
-				// Safety: a tenant still on a rack that one fault has
-				// held dead across this whole heartbeat (so remediation
-				// had a full cycle to act) is a violation if any live
-				// rack has obvious headroom.
-				for _, tn := range c.Tenants() {
-					idx := tn.Rack()
-					if idx < 0 || !continuousDead(idx, e) || !c.Racks()[idx].Dead() {
-						continue
-					}
-					for j, r := range c.Racks() {
-						if j != idx && !r.Dead() && !r.Draining() && st.Pressure[j] < 0.5 {
-							t.Fatalf("epoch %d: tenant %s left on dead rack %d while rack %d has capacity (pressure %.2f)",
-								e, tn.Name, idx, j, st.Pressure[j])
-						}
-					}
-				}
-			}
-			// Liveness: traffic flowed despite the fault storm.
-			if delivered == 0 {
-				t.Fatal("no traffic delivered under chaos")
-			}
-			// Convergence: past the horizon everything is repaired, so
-			// the fleet must be fully live and fully placed.
-			for i, r := range c.Racks() {
-				if r.Dead() {
-					t.Fatalf("rack %d still dead past the schedule horizon", i)
-				}
-			}
-			for _, tn := range c.Tenants() {
-				if tn.Rack() < 0 {
-					t.Fatalf("tenant %s unplaced past the schedule horizon", tn.Name)
-				}
-			}
-			if c.MTTR().Total() == 0 {
-				t.Fatal("no recoveries recorded despite injected faults")
+	variants := []struct {
+		name    string
+		crews   int
+		classes func(tp *topo.Topology) []faults.Class
+	}{
+		{name: "independent", crews: 0, classes: func(*topo.Topology) []faults.Class { return nil }},
+		{name: "correlated-crews1", crews: 1, classes: func(*topo.Topology) []faults.Class {
+			return []faults.Class{faults.RackKill, faults.PDUFail, faults.HostKill,
+				faults.CRACFail, faults.FlapNIC}
+		}},
+	}
+	for _, vt := range variants {
+		vt := vt
+		t.Run(vt.name, func(t *testing.T) {
+			for seed := int64(1); seed <= chaosSeeds(); seed++ {
+				seed := seed
+				t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+					chaosClusterStorm(t, racks, seed, vt.crews, vt.classes)
+				})
 			}
 		})
+	}
+}
+
+func chaosClusterStorm(t *testing.T, racks int, seed int64, crews int,
+	classesFor func(tp *topo.Topology) []faults.Class) {
+	tp, err := topo.Uniform(racks, topo.RackSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := faults.Random(faults.RandomConfig{
+		Epochs: 8, Racks: racks, Rows: 1,
+		PDUs:         tp.PDUCount(),
+		HostsPerRack: tp.Rack(0).Spec.Hosts,
+		Rate:         0.7, MaxDuration: 3, Seed: seed,
+		Classes: classesFor(tp),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.New(cluster.Config{
+		Topo:           tp,
+		TenantsPerRack: 3,
+		Seed:           seed,
+		Federate:       true,
+		Epoch:          200 * sim.Microsecond,
+		Skew:           workload.RackSkew{HotFactor: 4, Period: 2},
+		Faults:         sched,
+		Remediate:      cluster.DefaultRules(),
+		Crews:          crews,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// continuousDead reports whether one kill event keeps the
+	// rack dead across the control plane of epoch e: struck at
+	// an earlier heartbeat, not repaired until a later one. Only
+	// then has the policy engine seen the rack dead for a full
+	// cycle (a repair-then-re-kill inside one cycle gives it no
+	// window to act). With finite crews the real repair can only
+	// land later than the schedule says, so the window stays a
+	// conservative underestimate.
+	continuousDead := func(idx, e int) bool {
+		for _, ev := range sched.Events() {
+			if ev.At >= e || ev.RepairAt() <= e {
+				continue
+			}
+			if ev.Class == faults.RackKill && ev.Rack == idx {
+				return true
+			}
+			if ev.Class == faults.PDUFail && tp.PDUOf(idx) == ev.PDU {
+				return true
+			}
+			if ev.Class == faults.RowKill { // rows=1: whole fleet
+				return true
+			}
+		}
+		return false
+	}
+	// Epoch budget: past the strike horizon every fault still
+	// needs its repair to land. Free repairs land on schedule; a
+	// single starved crew serializes them, so the worst case is
+	// the whole backlog end to end.
+	epochs := sched.Horizon() + 4
+	if crews > 0 {
+		backlog := 0
+		for _, ev := range sched.Events() {
+			backlog += ev.Duration
+		}
+		epochs = sched.Horizon() + (backlog+crews-1)/crews + 4
+	}
+	var delivered float64
+	for e := 0; e < epochs; e++ {
+		// Mid-fault control-plane restart: at one-third of the
+		// run, bounce the first live rack's orchestrator. The
+		// next heartbeat must carry on as if nothing happened.
+		if e == epochs/3 {
+			for _, r := range c.Racks() {
+				if !r.Dead() && !r.Draining() {
+					r.Orch.Stop()
+					if err := r.Orch.Start(); err != nil {
+						t.Fatalf("orchestrator restart: %v", err)
+					}
+					break
+				}
+			}
+		}
+		st, err := c.RunEpoch()
+		if err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+		for i := range c.Racks() {
+			delivered += st.DeliveredGbps[i]
+		}
+		// Safety: a tenant still on a rack that one fault has
+		// held dead across this whole heartbeat (so remediation
+		// had a full cycle to act) is a violation if any live
+		// rack has obvious headroom.
+		for _, tn := range c.Tenants() {
+			idx := tn.Rack()
+			if idx < 0 || !continuousDead(idx, e) || !c.Racks()[idx].Dead() {
+				continue
+			}
+			for j, r := range c.Racks() {
+				if j != idx && !r.Dead() && !r.Draining() && st.Pressure[j] < 0.5 {
+					t.Fatalf("epoch %d: tenant %s left on dead rack %d while rack %d has capacity (pressure %.2f)",
+						e, tn.Name, idx, j, st.Pressure[j])
+				}
+			}
+		}
+	}
+	// Liveness: traffic flowed despite the fault storm.
+	if delivered == 0 {
+		t.Fatal("no traffic delivered under chaos")
+	}
+	// Convergence: past the horizon everything is repaired, so
+	// the fleet must be fully live and fully placed.
+	for i, r := range c.Racks() {
+		if r.Dead() {
+			t.Fatalf("rack %d still dead past the schedule horizon", i)
+		}
+	}
+	for _, tn := range c.Tenants() {
+		if tn.Rack() < 0 {
+			t.Fatalf("tenant %s unplaced past the schedule horizon", tn.Name)
+		}
+	}
+	if c.MTTR().Total() == 0 {
+		t.Fatal("no recoveries recorded despite injected faults")
 	}
 }

@@ -104,6 +104,12 @@ type Config struct {
 	// orchestrator evaluates each heartbeat (nil: the policy engine is
 	// off and faults are tolerated, never reacted to).
 	Remediate *Remediation
+	// Crews is the repair workforce: at most Crews faults are under
+	// physical repair at once; the rest wait in a priority queue (dead
+	// domains first) and their repair clocks only start when a crew
+	// frees up. <= 0 means an unlimited workforce — service starts the
+	// instant a fault strikes, the free-repair baseline.
+	Crews int
 }
 
 func (c Config) withDefaults() Config {
@@ -268,6 +274,16 @@ type Rack struct {
 	// poolNICs are the pooled NIC handles in registration order, so
 	// fault injection can flap a device without a pod lookup.
 	poolNICs []*nicsim.NIC
+	// nicsPerHost slices poolNICs by device host: host h (hosts[1:]
+	// ordinal h-1) owns poolNICs[(h-1)*nicsPerHost : h*nicsPerHost],
+	// the blast radius of a HostKill.
+	nicsPerHost int
+	// perNICGbps is one pooled NIC's line rate in Gbps (racks are
+	// spec-uniform internally).
+	perNICGbps float64
+	// lostGbps is pooled capacity currently offline to host kills;
+	// effective capacity is (capacityGbps - lostGbps) * capScale.
+	lostGbps float64
 
 	capacityGbps   float64
 	deliveredBytes uint64
@@ -300,6 +316,14 @@ func (r *Rack) Dead() bool { return r.dead }
 // CapacityGbps is the rack's aggregate pooled-NIC line rate.
 func (r *Rack) CapacityGbps() float64 { return r.capacityGbps }
 
+// effCapacityGbps is the rack's line rate minus capacity lost to host
+// kills (the shrunken inventory placement sees). Identical to
+// capacityGbps while no host is down.
+func (r *Rack) effCapacityGbps() float64 { return r.capacityGbps - r.lostGbps }
+
+// LostGbps is pooled capacity currently offline to host kills.
+func (r *Rack) LostGbps() float64 { return r.lostGbps }
+
 // Cluster is the global orchestrator.
 type Cluster struct {
 	cfg     Config
@@ -326,10 +350,12 @@ type Cluster struct {
 	mttr           faults.MTTR
 	deadRackEpochs uint64
 	rackEpochs     uint64
-	// Remediation accounting: tenant moves the policy engine initiated
-	// and their modeled re-placement downtime.
-	remedMoves    int
-	remedDowntime sim.Duration
+	// Remediation accounting: tenant moves the policy engine initiated,
+	// their modeled re-placement downtime, and actions suppressed by
+	// per-rule rate limits.
+	remedMoves     int
+	remedDowntime  sim.Duration
+	remedThrottled int
 
 	epoch int
 }
@@ -353,10 +379,16 @@ type EpochStats struct {
 	Unplaced      int
 	// Fault-engine view this epoch: racks dead while traffic ran,
 	// faults struck-but-unrepaired, and remediation actions the policy
-	// heartbeat applied.
-	DeadRacks     int
-	FaultsActive  int
-	PolicyActions int
+	// heartbeat applied. PolicyThrottled counts actions a rule's rate
+	// limit suppressed this heartbeat (retried next epoch).
+	DeadRacks       int
+	FaultsActive    int
+	PolicyActions   int
+	PolicyThrottled int
+	// Repair-crew view this epoch: faults queued for a crew and faults
+	// under active repair after this epoch's strikes were dispatched.
+	RepairQueue int
+	CrewsBusy   int
 }
 
 // New builds the racks, their orchestrators, and the tenant
@@ -364,7 +396,15 @@ type EpochStats struct {
 func New(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Faults != nil {
-		if err := cfg.Faults.Validate(cfg.Topo.RackCount(), cfg.Topo.RowCount()); err != nil {
+		fleet := faults.Fleet{
+			Racks: cfg.Topo.RackCount(),
+			Rows:  cfg.Topo.RowCount(),
+			PDUs:  cfg.Topo.PDUCount(),
+			HostsPerRack: func(r int) int {
+				return cfg.Topo.Rack(r).Spec.Hosts
+			},
+		}
+		if err := cfg.Faults.Validate(fleet); err != nil {
 			return nil, err
 		}
 	}
@@ -448,6 +488,7 @@ func (c *Cluster) buildRack(idx int) (*Rack, error) {
 		index:          idx,
 		capScale:       1,
 		faultClearedAt: -1,
+		nicsPerHost:    spec.NICsPerHost,
 		payload:        make([]byte, payloadBytes),
 	}
 	for i := range rack.payload {
@@ -487,6 +528,9 @@ func (c *Cluster) buildRack(idx int) (*Rack, error) {
 			rack.poolNICs = append(rack.poolNICs, nic)
 			devices++
 		}
+	}
+	if len(rack.poolNICs) > 0 {
+		rack.perNICGbps = rack.capacityGbps / float64(len(rack.poolNICs))
 	}
 	// One sink port per pooled device, so the receive side never caps
 	// the rack below its pooled capacity: losses under overload happen
@@ -553,7 +597,7 @@ func (c *Cluster) offeredGbps(rackIdx int) float64 {
 // loads inside each orch corroborate it in the epoch stats.
 func (c *Cluster) pressure(rackIdx int) float64 {
 	r := c.racks[rackIdx]
-	cap := r.capacityGbps * r.capScale
+	cap := r.effCapacityGbps() * r.capScale
 	if cap == 0 {
 		return 1
 	}
@@ -631,7 +675,7 @@ func (c *Cluster) place(t *Tenant) error {
 	home := c.racks[t.Home]
 	if c.cfg.Federate {
 		homeOK := c.canServe(t, t.Home) &&
-			(c.offeredGbps(t.Home)+t.gbps)/home.capacityGbps <= c.cfg.PressureThreshold
+			(c.offeredGbps(t.Home)+t.gbps)/home.effCapacityGbps() <= c.cfg.PressureThreshold
 		if !homeOK {
 			if cold := c.coldestRackFor(t, t.Home); cold >= 0 {
 				target, spilled = cold, true
@@ -743,7 +787,7 @@ func (c *Cluster) globalSweep() (migrations, repatriations int, err error) {
 		// Hysteresis: come home only if home stays clearly below the
 		// spill threshold with the tenant's demand back.
 		if c.canServe(t, t.Home) &&
-			(c.offeredGbps(t.Home)+t.gbps)/c.racks[t.Home].capacityGbps <= thr*0.85 {
+			(c.offeredGbps(t.Home)+t.gbps)/c.racks[t.Home].effCapacityGbps() <= thr*0.85 {
 			if err := c.migrate(t, t.Home); err != nil {
 				// Rack-local resource exhaustion (a segment filled by
 				// fault pile-ons): the tenant is left unplaced and the
@@ -786,7 +830,7 @@ func (c *Cluster) globalSweep() (migrations, repatriations int, err error) {
 			if dst < 0 {
 				continue
 			}
-			if (c.offeredGbps(dst)+t.gbps)/c.racks[dst].capacityGbps > thr {
+			if (c.offeredGbps(dst)+t.gbps)/c.racks[dst].effCapacityGbps() > thr {
 				continue
 			}
 			if pick == nil || t.gbps > pick.gbps {
@@ -937,13 +981,17 @@ func (c *Cluster) RunEpoch() (EpochStats, error) {
 	}
 	// Scheduled physical repairs land first, so the policy heartbeat
 	// below sees post-repair state (reopen/repatriate rules trigger the
-	// same epoch a fault clears); strikes land last, after the whole
-	// control plane, so detection is always the next heartbeat.
+	// same epoch a fault clears); freed crews immediately pick up
+	// queued faults; strikes land last, after the whole control plane,
+	// so detection is always the next heartbeat.
 	if c.cfg.Faults != nil {
 		c.applyRepairs(e)
+		c.dispatchCrews(e)
 	}
 	if c.cfg.Remediate != nil {
+		throttled0 := c.remedThrottled
 		st.PolicyActions = c.runPolicy(e)
+		st.PolicyThrottled = c.remedThrottled - throttled0
 	}
 	// Initial placement (epoch 0) and placement of any tenant a failed
 	// earlier sweep left unplaced.
@@ -974,6 +1022,8 @@ func (c *Cluster) RunEpoch() (EpochStats, error) {
 	}
 	if c.cfg.Faults != nil {
 		c.applyStrikes(e)
+		c.dispatchCrews(e)
+		st.RepairQueue, st.CrewsBusy = c.repairQueue()
 	}
 	for _, r := range c.racks {
 		if r.dead {

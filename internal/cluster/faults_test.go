@@ -152,6 +152,26 @@ func TestParseRuleGrammar(t *testing.T) {
 	if r.Scope != ScopeRow || r.Conds[0].Sig != SigDead {
 		t.Fatalf("alias rule wrong: %+v", r)
 	}
+	// Fleet-scope signals and the rate-limit suffix.
+	r, err = ParseRule("when fleet.headroom < 0.1 -> migrate limit 2/epoch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scope != ScopeFleet || r.Conds[0].Sig != SigHeadroom || r.Limit != 2 {
+		t.Fatalf("fleet rule wrong: %+v", r)
+	}
+	// A fleet condition does not widen a rack-scoped action.
+	r, err = ParseRule("when fleet.queue >= 3 && rack.dead == 1 -> drain limit 1/epoch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scope != ScopeRack || len(r.Conds) != 2 || r.Limit != 1 {
+		t.Fatalf("mixed fleet+rack rule wrong: %+v", r)
+	}
+	// No limit clause means unlimited.
+	if r, err = ParseRule("when fleet.inflight > 4 -> migrate"); err != nil || r.Limit != 0 {
+		t.Fatalf("unlimited rule wrong: %+v err=%v", r, err)
+	}
 	for _, bad := range []string{
 		"",
 		"drain rack 3",
@@ -163,6 +183,12 @@ func TestParseRuleGrammar(t *testing.T) {
 		"when rack.dead == soon -> drain",               // non-numeric threshold
 		"when rack.dead == 1 && row.dead == 1 -> drain", // mixed scopes
 		"when rack.dead == 1 rack.dead == 1 -> drain",   // missing &&
+		"when rack.headroom < 0.1 -> drain",             // fleet-only signal at rack scope
+		"when row.queue >= 2 -> migrate",                // fleet-only signal at row scope
+		"when rack.dead == 1 -> drain limit 0/epoch",    // limit must be positive
+		"when rack.dead == 1 -> drain limit -1/epoch",   // negative limit
+		"when rack.dead == 1 -> drain limit x/epoch",    // non-numeric limit
+		"when rack.dead == 1 -> limit 1/epoch",          // limit without action
 	} {
 		if _, err := ParseRule(bad); !errors.Is(err, ErrBadRule) {
 			t.Errorf("ParseRule(%q) = %v, want ErrBadRule", bad, err)
@@ -256,6 +282,285 @@ func TestBrownoutTaxesFabricPaths(t *testing.T) {
 	}
 }
 
+// Correlated domains: one pdufail event takes down every rack sharing
+// the PDU simultaneously, and the repair revives them together.
+func TestPDUFailKillsWholeDomain(t *testing.T) {
+	sched, err := faults.Scripted(
+		faults.Event{Class: faults.PDUFail, At: 1, Duration: 2, PDU: 0},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := faultConfig(t, 4, 5)
+	cfg.Faults = sched
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunEpoch(); err != nil { // e0: clean
+		t.Fatal(err)
+	}
+	st, err := c.RunEpoch() // e1: strike lands
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DeadRacks != 2 {
+		t.Fatalf("DeadRacks = %d, want the whole 2-rack PDU", st.DeadRacks)
+	}
+	racks := c.Racks()
+	if !racks[0].Dead() || !racks[1].Dead() || racks[2].Dead() || racks[3].Dead() {
+		t.Fatal("pdufail blast radius wrong")
+	}
+	if _, err := c.RunEpoch(); err != nil { // e2: still down
+		t.Fatal(err)
+	}
+	st, err = c.RunEpoch() // e3: repair lands at the heartbeat
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DeadRacks != 0 || racks[0].Dead() || racks[1].Dead() {
+		t.Fatal("PDU repair did not revive the domain together")
+	}
+}
+
+// Partial degradation: a cracfail throttles every rack in the row to
+// the cooling-loss fraction, and a hostkill shrinks one rack's pooled
+// inventory without killing it; both heal on repair.
+func TestCoolingAndHostFaultsDegradeCapacity(t *testing.T) {
+	sched, err := faults.Scripted(
+		faults.Event{Class: faults.CRACFail, At: 1, Duration: 2, Row: 0},
+		faults.Event{Class: faults.HostKill, At: 1, Duration: 2, Rack: 3, Host: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := faultConfig(t, 4, 6)
+	cfg.Faults = sched
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(2); err != nil { // e0 clean, e1 strikes
+		t.Fatal(err)
+	}
+	st, err := c.RunEpoch() // e2: both faults open
+	if err != nil {
+		t.Fatal(err)
+	}
+	racks := c.Racks()
+	if st.DeadRacks != 0 {
+		t.Fatalf("degradations killed %d racks", st.DeadRacks)
+	}
+	for i, r := range racks {
+		if r.capScale != faults.DefaultCRACScale {
+			t.Fatalf("rack %d capScale = %g under cracfail, want %g", i, r.capScale, faults.DefaultCRACScale)
+		}
+	}
+	if got := racks[3].LostGbps(); got != 100 {
+		t.Fatalf("hostkill lost %g Gbps, want the host's 100", got)
+	}
+	if got := racks[3].effCapacityGbps(); got != 100 {
+		t.Fatalf("effective capacity = %g, want 100", got)
+	}
+	if _, err := c.RunEpoch(); err != nil { // e3: repairs land
+		t.Fatal(err)
+	}
+	for i, r := range racks {
+		if r.capScale != 1 || r.LostGbps() != 0 {
+			t.Fatalf("rack %d not healed: scale=%g lost=%g", i, r.capScale, r.LostGbps())
+		}
+	}
+}
+
+// Finite crews: two simultaneous PDU failures with one crew serialize —
+// the second fault's MTTR exceeds its scheduled repair duration by
+// exactly the queueing delay the free-repair baseline hides.
+func TestFiniteCrewsQueueStretchesMTTR(t *testing.T) {
+	mk := func(crews int) *Cluster {
+		sched, err := faults.Scripted(
+			faults.Event{Class: faults.PDUFail, At: 2, Duration: 3, PDU: 0},
+			faults.Event{Class: faults.PDUFail, At: 2, Duration: 3, PDU: 1},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := faultConfig(t, 4, 8)
+		cfg.Faults = sched
+		cfg.Crews = crews
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Run(12); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	// Unlimited workforce: both faults repair on schedule, nobody waits.
+	free := mk(0).MTTR()
+	if free.Count(faults.PDUFail) != 2 || free.MeanEpochs(faults.PDUFail) != 3 {
+		t.Fatalf("free-repair MTTR = %g over %d, want 3 over 2",
+			free.MeanEpochs(faults.PDUFail), free.Count(faults.PDUFail))
+	}
+	if free.TotalWaitEpochs() != 0 {
+		t.Fatalf("unlimited crews queued %d epochs", free.TotalWaitEpochs())
+	}
+	// One crew: the second fault waits out the first repair (3 epochs),
+	// so MTTRs are 3 and 3+3 — mean 4.5, mean wait 1.5.
+	one := mk(1).MTTR()
+	if one.Count(faults.PDUFail) != 2 {
+		t.Fatalf("crew-limited run recovered %d faults", one.Count(faults.PDUFail))
+	}
+	if got := one.MeanEpochs(faults.PDUFail); got != 4.5 {
+		t.Fatalf("crew-limited MTTR = %g, want 4.5 (duration + queueing delay)", got)
+	}
+	if got := one.MeanWaitEpochs(faults.PDUFail); got != 1.5 {
+		t.Fatalf("mean wait = %g, want 1.5", got)
+	}
+	if one.TotalWaitEpochs() != 3 {
+		t.Fatalf("total wait = %d, want 3", one.TotalWaitEpochs())
+	}
+}
+
+// Crew priority: with one crew and a flap struck before a rack kill,
+// the dead rack jumps the queue — kills repair first, flaps last.
+func TestCrewPriorityPrefersDeadRacks(t *testing.T) {
+	sched, err := faults.Scripted(
+		faults.Event{Class: faults.FlapNIC, At: 1, Duration: 2, Rack: 0, Device: 0},
+		faults.Event{Class: faults.FlapNIC, At: 1, Duration: 2, Rack: 2, Device: 0},
+		faults.Event{Class: faults.RackKill, At: 2, Duration: 2, Rack: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := faultConfig(t, 4, 9)
+	cfg.Faults = sched
+	cfg.Crews = 1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(12); err != nil {
+		t.Fatal(err)
+	}
+	m := c.MTTR()
+	// Flap 1 takes the crew at e1 (wait 0) and repairs at e3; the kill,
+	// struck at e2, preempts the second flap when the crew frees at e3
+	// (wait 1) and repairs at e5; flap 2 waits until e5 (wait 4).
+	if got := m.MeanWaitEpochs(faults.RackKill); got != 1 {
+		t.Fatalf("rackkill wait = %g, want 1 (jumped the flap queue)", got)
+	}
+	if got := m.MeanWaitEpochs(faults.FlapNIC); got != 2 {
+		t.Fatalf("flap mean wait = %g, want (0+4)/2", got)
+	}
+}
+
+// The token bucket: a migrate rule limited to one move per epoch
+// spreads a dead rack's evacuation over several heartbeats, counting
+// every suppressed move as throttled.
+func TestRateLimitThrottlesEvacuation(t *testing.T) {
+	run := func(rule string) *Cluster {
+		sched, err := faults.Scripted(
+			faults.Event{Class: faults.RackKill, At: 2, Duration: 6, Rack: 1},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := faultConfig(t, 4, 7)
+		cfg.Faults = sched
+		rules, err := ParseRules(rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Remediate = rules
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Run(10); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	limited := run("when rack.dead == 1 -> migrate limit 1/epoch")
+	open := run("when rack.dead == 1 -> migrate")
+	if limited.ThrottledActions() == 0 {
+		t.Fatal("rate limit throttled nothing")
+	}
+	if open.ThrottledActions() != 0 {
+		t.Fatalf("unlimited rule throttled %d actions", open.ThrottledActions())
+	}
+	lm, om := limited.MTTR(), open.MTTR()
+	if lm.Count(faults.RackKill) != 1 || om.Count(faults.RackKill) != 1 {
+		t.Fatal("kill never recovered")
+	}
+	if lm.MeanEpochs(faults.RackKill) <= om.MeanEpochs(faults.RackKill) {
+		t.Fatalf("throttled MTTR %g not above unthrottled %g",
+			lm.MeanEpochs(faults.RackKill), om.MeanEpochs(faults.RackKill))
+	}
+}
+
+// Fleet conditions gate a rack-scoped action: the rule only fires once
+// the fleet-wide dead count crosses the threshold.
+func TestFleetScopeGatesRackAction(t *testing.T) {
+	sched, err := faults.Scripted(
+		faults.Event{Class: faults.RackKill, At: 1, Duration: 8, Rack: 0},
+		faults.Event{Class: faults.RackKill, At: 4, Duration: 5, Rack: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := faultConfig(t, 4, 13)
+	cfg.Faults = sched
+	rules, err := ParseRules("when fleet.dead >= 2 && rack.dead == 1 -> migrate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Remediate = rules
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first kill alone never triggers (fleet.dead == 1); only after
+	// the second kill does the policy evacuate — both racks at once.
+	for e := 0; e < 5; e++ {
+		if stats[e].PolicyActions != 0 {
+			t.Fatalf("epoch %d acted with only one rack dead", e)
+		}
+	}
+	if stats[5].PolicyActions == 0 {
+		t.Fatal("fleet-gated rule never fired after the second kill")
+	}
+}
+
+// Satellite regression: schedules naming unknown PDUs, rows, racks, or
+// hosts are rejected at cluster construction with the typed faults
+// error, never mid-run.
+func TestClusterRejectsUnknownDomains(t *testing.T) {
+	for _, ev := range []faults.Event{
+		{Class: faults.RackKill, At: 0, Duration: 1, Rack: 9},
+		{Class: faults.RowKill, At: 0, Duration: 1, Row: 9},
+		{Class: faults.PDUFail, At: 0, Duration: 1, PDU: 9},
+		{Class: faults.CRACFail, At: 0, Duration: 1, Row: 9},
+		{Class: faults.HostKill, At: 0, Duration: 1, Rack: 0, Host: 9},
+		{Class: faults.HostKill, At: 0, Duration: 1, Rack: 0, Host: 0},
+	} {
+		sched, err := faults.Scripted(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := faultConfig(t, 4, 1)
+		cfg.Faults = sched
+		if _, err := New(cfg); !errors.Is(err, faults.ErrInvalid) {
+			t.Errorf("New accepted %v schedule (err=%v)", ev.Class, err)
+		}
+	}
+}
+
 func TestFaultedClusterDeterministicAcrossWorkers(t *testing.T) {
 	trace := func(workers int) string {
 		sched, err := faults.Random(faults.RandomConfig{
@@ -290,4 +595,45 @@ func TestFaultedClusterDeterministicAcrossWorkers(t *testing.T) {
 	if a, b := trace(1), trace(4); a != b {
 		t.Fatalf("faulted cluster diverges across worker counts:\n--- workers=1\n%s\n--- workers=4\n%s", a, b)
 	}
+}
+
+// FuzzParseRule feeds arbitrary text through the policy grammar. The
+// contract under fuzzing: the parser never panics, every failure wraps
+// ErrBadRule, and every accepted rule round-trips through its canonical
+// text to an identical rule.
+func FuzzParseRule(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"when rack.dead == 1 -> migrate",
+		"when row.degraded >= 0.5 -> drain",
+		"when fleet.headroom < 0.1 -> migrate limit 2/epoch",
+		"when fleet.queue >= 3 && rack.dead == 1 -> drain limit 1/epoch",
+		"when rack.repaired == 1 && rack.pressure <= 0.6 -> repatriate",
+		"when rack.dead == 1 -> drain limit 0/epoch",
+		"when rack.dead == 1 -> drain limit 9999999999999999999/epoch",
+		"when pod.dead == 1 -> drain",
+		"when rack..dead == 1 -> drain",
+		"when rack.dead == NaN -> drain",
+		"when rack.dead == 1 &&",
+		"limit 1/epoch",
+		"when \x00fleet.inflight > 1 -> migrate",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := ParseRule(s)
+		if err != nil {
+			if !errors.Is(err, ErrBadRule) {
+				t.Fatalf("ParseRule(%q) error %v does not wrap ErrBadRule", s, err)
+			}
+			return
+		}
+		r2, err := ParseRule(r.String())
+		if err != nil {
+			t.Fatalf("canonical text %q of accepted rule %q fails to re-parse: %v", r.String(), s, err)
+		}
+		if r2.String() != r.String() {
+			t.Fatalf("round-trip drift: %q -> %q", r.String(), r2.String())
+		}
+	})
 }

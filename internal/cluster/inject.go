@@ -18,6 +18,10 @@ import (
 type activeFault struct {
 	ev     faults.Event
 	struck int
+	// serviceAt is the epoch a repair crew started on the fault (-1:
+	// still waiting in the crew queue). The physical repair lands at
+	// serviceAt + Duration, so queueing delay stretches the outage.
+	serviceAt int
 	// recovered is the epoch tenant-visible exposure ended (-1: open).
 	recovered int
 	// repaired flips when the physical repair lands; recovery can
@@ -30,6 +34,8 @@ type activeFault struct {
 	affected []int
 	// flapNIC is the flapped device handle (FlapNIC only).
 	flapNIC *nicsim.NIC
+	// hostNICs are the killed host's pooled devices (HostKill only).
+	hostNICs []*nicsim.NIC
 }
 
 // residents returns the ordinals of tenants currently placed on a rack.
@@ -49,22 +55,111 @@ func (c *Cluster) residents(rackIdx int) []int {
 // the epoch it strikes.
 func (c *Cluster) applyStrikes(epoch int) {
 	for _, ev := range c.cfg.Faults.At(epoch) {
-		af := &activeFault{ev: ev, struck: epoch, recovered: -1}
+		af := &activeFault{ev: ev, struck: epoch, serviceAt: -1, recovered: -1}
 		c.active = append(c.active, af)
 		switch ev.Class {
 		case faults.RackKill:
 			c.strikeKill(af, []int{ev.Rack})
 		case faults.RowKill:
 			c.strikeKill(af, c.rowRacks(ev.Row))
+		case faults.PDUFail:
+			c.strikeKill(af, c.cfg.Topo.PDURacks(ev.PDU))
 		case faults.FlapNIC:
 			c.strikeFlap(af)
 		case faults.SlowCXL:
 			af.affected = c.residents(ev.Rack)
 			c.recomputeDegrade(c.racks[ev.Rack])
+		case faults.CRACFail:
+			for _, idx := range c.rowRacks(ev.Row) {
+				af.affected = append(af.affected, c.residents(idx)...)
+				c.recomputeDegrade(c.racks[idx])
+			}
+		case faults.HostKill:
+			c.strikeHost(af)
 		case faults.Brownout:
 			c.recomputeBrownouts()
 		}
 	}
+}
+
+// strikeHost takes one device host's pooled NICs offline: the rack
+// keeps running at reduced capacity, the rack monitor detects the
+// failed devices and fails tenants over, and placement sees the
+// shrunken inventory via lostGbps.
+func (c *Cluster) strikeHost(af *activeFault) {
+	r := c.racks[af.ev.Rack]
+	lo := (af.ev.Host - 1) * r.nicsPerHost
+	hi := lo + r.nicsPerHost
+	if lo < 0 || hi > len(r.poolNICs) {
+		return
+	}
+	af.affected = c.residents(af.ev.Rack)
+	for _, nic := range r.poolNICs[lo:hi] {
+		af.hostNICs = append(af.hostNICs, nic)
+		if !nic.Failed() {
+			nic.Fail()
+		}
+	}
+	c.recomputeHostLoss(r)
+}
+
+// dispatchCrews assigns free repair crews to queued faults. Priority is
+// the class's repair priority (dead domains first, degradations next,
+// flaps last), then strike order — deterministic, so the queueing tail
+// is part of the byte-identical output. With an unlimited workforce
+// (Crews <= 0) service starts the instant a fault strikes, which makes
+// the repair land at At+Duration exactly as the free-repair baseline
+// scheduled it.
+func (c *Cluster) dispatchCrews(epoch int) {
+	if c.cfg.Crews <= 0 {
+		for _, af := range c.active {
+			if !af.repaired && af.serviceAt < 0 {
+				af.serviceAt = af.struck
+				c.mttr.RecordWait(af.ev.Class, 0)
+			}
+		}
+		return
+	}
+	busy := 0
+	for _, af := range c.active {
+		if !af.repaired && af.serviceAt >= 0 {
+			busy++
+		}
+	}
+	for busy < c.cfg.Crews {
+		pick := -1
+		for i, af := range c.active {
+			if af.repaired || af.serviceAt >= 0 {
+				continue
+			}
+			if pick < 0 || af.ev.Class.RepairPriority() < c.active[pick].ev.Class.RepairPriority() {
+				pick = i
+			}
+		}
+		if pick < 0 {
+			return
+		}
+		af := c.active[pick]
+		af.serviceAt = epoch
+		c.mttr.RecordWait(af.ev.Class, epoch-af.struck)
+		busy++
+	}
+}
+
+// repairQueue tallies the crew pool's state: faults still waiting for a
+// crew and faults under active repair.
+func (c *Cluster) repairQueue() (queued, busy int) {
+	for _, af := range c.active {
+		if af.repaired {
+			continue
+		}
+		if af.serviceAt < 0 {
+			queued++
+		} else {
+			busy++
+		}
+	}
+	return queued, busy
 }
 
 // strikeKill takes the target racks down. A rack already dead from an
@@ -116,12 +211,15 @@ func (c *Cluster) strikeFlap(af *activeFault) {
 	}
 }
 
-// applyRepairs lands every physical repair due by this epoch. Repairs
-// run before the policy heartbeat, so a reopen/repatriate rule sees the
-// repaired state the same epoch it lands.
+// applyRepairs lands every physical repair due by this epoch: a fault
+// repairs Duration epochs after a crew started on it (with unlimited
+// crews that is the scheduled At+Duration; a queued fault's clock only
+// started when a crew freed up). Repairs run before the policy
+// heartbeat, so a reopen/repatriate rule sees the repaired state the
+// same epoch it lands.
 func (c *Cluster) applyRepairs(epoch int) {
 	for _, af := range c.active {
-		if af.repaired || af.ev.RepairAt() > epoch {
+		if af.repaired || af.serviceAt < 0 || af.serviceAt+af.ev.Duration > epoch {
 			continue
 		}
 		af.repaired = true
@@ -132,6 +230,10 @@ func (c *Cluster) applyRepairs(epoch int) {
 			for _, idx := range c.rowRacks(af.ev.Row) {
 				c.reviveRack(idx, af, epoch)
 			}
+		case faults.PDUFail:
+			for _, idx := range c.cfg.Topo.PDURacks(af.ev.PDU) {
+				c.reviveRack(idx, af, epoch)
+			}
 		case faults.FlapNIC:
 			if af.flapNIC != nil && af.flapNIC.Failed() {
 				af.flapNIC.Repair()
@@ -140,6 +242,20 @@ func (c *Cluster) applyRepairs(epoch int) {
 		case faults.SlowCXL:
 			c.racks[af.ev.Rack].faultClearedAt = epoch
 			c.recomputeDegrade(c.racks[af.ev.Rack])
+		case faults.CRACFail:
+			for _, idx := range c.rowRacks(af.ev.Row) {
+				c.racks[idx].faultClearedAt = epoch
+				c.recomputeDegrade(c.racks[idx])
+			}
+		case faults.HostKill:
+			for _, nic := range af.hostNICs {
+				if nic.Failed() {
+					nic.Repair()
+				}
+			}
+			r := c.racks[af.ev.Rack]
+			r.faultClearedAt = epoch
+			c.recomputeHostLoss(r)
 		case faults.Brownout:
 			c.recomputeBrownouts()
 		}
@@ -180,18 +296,35 @@ func (c *Cluster) rackStillKilled(idx int, except *activeFault) bool {
 			if c.cfg.Topo.RowOf(idx) == af.ev.Row {
 				return true
 			}
+		case faults.PDUFail:
+			if c.cfg.Topo.PDUOf(idx) == af.ev.PDU {
+				return true
+			}
 		}
 	}
 	return false
 }
 
 // recomputeDegrade resets a rack's effective-capacity multiplier from
-// its open SlowCXL faults (the worst one wins), so overlapping
-// degradations compose and repairs never overshoot.
+// its open degradations — SlowCXL faults targeting the rack and
+// CRACFail faults covering its row (the worst one wins) — so
+// overlapping degradations compose and repairs never overshoot.
 func (c *Cluster) recomputeDegrade(r *Rack) {
 	scale := 1.0
 	for _, af := range c.active {
-		if af.repaired || af.ev.Class != faults.SlowCXL || af.ev.Rack != r.index {
+		if af.repaired {
+			continue
+		}
+		switch af.ev.Class {
+		case faults.SlowCXL:
+			if af.ev.Rack != r.index {
+				continue
+			}
+		case faults.CRACFail:
+			if c.cfg.Topo.RowOf(r.index) != af.ev.Row {
+				continue
+			}
+		default:
 			continue
 		}
 		if s := af.ev.Scale(); s < scale {
@@ -199,6 +332,21 @@ func (c *Cluster) recomputeDegrade(r *Rack) {
 		}
 	}
 	r.capScale = scale
+}
+
+// recomputeHostLoss resets a rack's host-kill capacity loss from its
+// open HostKill faults; overlapping kills of the same host count once.
+func (c *Cluster) recomputeHostLoss(r *Rack) {
+	lost := 0.0
+	seen := make(map[int]bool)
+	for _, af := range c.active {
+		if af.repaired || af.ev.Class != faults.HostKill || af.ev.Rack != r.index || seen[af.ev.Host] {
+			continue
+		}
+		seen[af.ev.Host] = true
+		lost += float64(len(af.hostNICs)) * r.perNICGbps
+	}
+	r.lostGbps = lost
 }
 
 // recomputeBrownouts rebuilds the active brownout list from the open
@@ -232,7 +380,7 @@ func (c *Cluster) checkRecoveries(epoch int) {
 // faultExposed reports whether any tenant still feels the fault.
 func (c *Cluster) faultExposed(af *activeFault) bool {
 	switch af.ev.Class {
-	case faults.RackKill, faults.RowKill:
+	case faults.RackKill, faults.RowKill, faults.PDUFail:
 		// Exposed while any affected tenant is unplaced or sits on a
 		// dead rack (this fault's target or an overlapping one — the
 		// tenant cannot tell whose outage it is riding out).
@@ -243,7 +391,7 @@ func (c *Cluster) faultExposed(af *activeFault) bool {
 			}
 		}
 		return false
-	case faults.FlapNIC, faults.SlowCXL:
+	case faults.FlapNIC, faults.SlowCXL, faults.HostKill:
 		// Exposed while the fault is live and an affected tenant still
 		// lives on the degraded rack.
 		if af.repaired {
@@ -251,6 +399,18 @@ func (c *Cluster) faultExposed(af *activeFault) bool {
 		}
 		for _, ti := range af.affected {
 			if c.tenants[ti].rack == af.ev.Rack {
+				return true
+			}
+		}
+		return false
+	case faults.CRACFail:
+		// Exposed while the cooling loss is live and an affected tenant
+		// still lives anywhere in the throttled row.
+		if af.repaired {
+			return false
+		}
+		for _, ti := range af.affected {
+			if r := c.tenants[ti].rack; r >= 0 && c.cfg.Topo.RowOf(r) == af.ev.Row {
 				return true
 			}
 		}

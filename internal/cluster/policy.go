@@ -48,6 +48,20 @@ const (
 	// SigRepaired is 1 on the heartbeat after a fault targeting the
 	// domain physically repaired.
 	SigRepaired Signal = "repaired"
+
+	// Fleet-only signals (rule conditions over the whole cluster).
+
+	// SigHeadroom is the fleet's spare-capacity fraction: 1 minus
+	// offered demand over live effective capacity (negative when the
+	// surviving fleet is overcommitted).
+	SigHeadroom Signal = "headroom"
+	// SigInflight counts displaced tenants: unplaced or currently
+	// living away from home — the population whose moves are still
+	// outstanding.
+	SigInflight Signal = "inflight"
+	// SigQueue is the repair-crew queue depth: struck faults still
+	// waiting for a crew to start on them.
+	SigQueue Signal = "queue"
 )
 
 func parseSignal(s string) (Signal, error) {
@@ -64,23 +78,40 @@ func parseSignal(s string) (Signal, error) {
 		return SigDegraded, nil
 	case "repaired":
 		return SigRepaired, nil
+	case "headroom":
+		return SigHeadroom, nil
+	case "inflight":
+		return SigInflight, nil
+	case "queue":
+		return SigQueue, nil
 	}
 	return "", fmt.Errorf("%w: unknown signal %q", ErrBadRule, s)
 }
 
-// Scope is the domain level a rule matches over.
+// fleetOnly reports whether a signal exists only at fleet scope.
+func fleetOnly(s Signal) bool {
+	return s == SigHeadroom || s == SigInflight || s == SigQueue
+}
+
+// Scope is the domain level a rule condition reads.
 type Scope int
 
-// Rules match racks or rows.
+// Conditions read racks, rows, or the whole fleet. The order encodes
+// specificity: a rule's action scope is its most specific condition
+// scope (a pure-fleet rule acts on every rack).
 const (
 	ScopeRack Scope = iota
 	ScopeRow
+	ScopeFleet
 )
 
 // String names the scope as it appears in rule text.
 func (s Scope) String() string {
-	if s == ScopeRow {
+	switch s {
+	case ScopeRow:
 		return "row"
+	case ScopeFleet:
+		return "fleet"
 	}
 	return "rack"
 }
@@ -153,19 +184,25 @@ func parseAction(s string) (Action, error) {
 	return "", fmt.Errorf("%w: unknown action %q", ErrBadRule, s)
 }
 
-// Cond is one comparison: signal op value.
+// Cond is one comparison: signal op value, read at a scope.
 type Cond struct {
-	Sig Signal
-	Op  Op
-	Val float64
+	Scope Scope
+	Sig   Signal
+	Op    Op
+	Val   float64
 }
 
-// Rule is one parsed remediation rule: every condition (ANDed, all on
-// one scope) must hold for the action to apply to the matched domain.
+// Rule is one parsed remediation rule: every condition (ANDed) must
+// hold for the action to apply to the matched domain. Scope is the
+// action scope — the most specific condition scope (fleet conditions
+// may mix with rack or row ones; rack and row never mix). Limit, when
+// positive, is the rule's token bucket: at most Limit state changes per
+// heartbeat, refilled each epoch.
 type Rule struct {
 	Scope  Scope
 	Conds  []Cond
 	Action Action
+	Limit  int
 
 	text string
 }
@@ -175,12 +212,27 @@ func (r Rule) String() string { return r.text }
 
 // ParseRule parses one rule:
 //
-//	when <scope>.<signal> <op> <value> [&& <scope>.<signal> <op> <value>]... -> <action>
+//	when <scope>.<signal> <op> <value> [&& <scope>.<signal> <op> <value>]... -> <action> [limit N/epoch]
 //
-// Scope is "rack" or "row"; every condition in a rule must use the same
-// scope. Tokens are whitespace-separated.
+// Scope is "rack", "row", or "fleet". Fleet conditions may join rack or
+// row conditions (the action then applies at the narrower scope); rack
+// and row conditions never mix. Tokens are whitespace-separated.
 func ParseRule(s string) (Rule, error) {
 	f := strings.Fields(s)
+	rule := Rule{}
+	// Optional trailing rate limit: "limit N/epoch".
+	if len(f) >= 2 && f[len(f)-2] == "limit" {
+		n, ok := strings.CutSuffix(f[len(f)-1], "/epoch")
+		if !ok {
+			return Rule{}, fmt.Errorf("%w: %q (want \"limit N/epoch\")", ErrBadRule, s)
+		}
+		lim, err := strconv.Atoi(n)
+		if err != nil || lim < 1 {
+			return Rule{}, fmt.Errorf("%w: bad rate limit %q (want a positive integer per epoch)", ErrBadRule, f[len(f)-1])
+		}
+		rule.Limit = lim
+		f = f[:len(f)-2]
+	}
 	if len(f) < 5 || f[0] != "when" {
 		return Rule{}, fmt.Errorf("%w: %q (want \"when <scope>.<signal> <op> <value> -> <action>\")", ErrBadRule, s)
 	}
@@ -191,8 +243,9 @@ func ParseRule(s string) (Rule, error) {
 	if err != nil {
 		return Rule{}, err
 	}
-	rule := Rule{Action: act}
+	rule.Action = act
 	toks := f[1 : len(f)-2]
+	rule.Scope = ScopeFleet
 	scoped := false
 	for len(toks) > 0 {
 		if scoped {
@@ -214,16 +267,26 @@ func ParseRule(s string) (Rule, error) {
 			sc = ScopeRack
 		case "row":
 			sc = ScopeRow
+		case "fleet":
+			sc = ScopeFleet
 		default:
-			return Rule{}, fmt.Errorf("%w: unknown scope %q (want rack|row)", ErrBadRule, scope)
+			return Rule{}, fmt.Errorf("%w: unknown scope %q (want rack|row|fleet)", ErrBadRule, scope)
 		}
-		if scoped && sc != rule.Scope {
-			return Rule{}, fmt.Errorf("%w: %q mixes scopes", ErrBadRule, s)
-		}
-		rule.Scope = sc
 		sig, err := parseSignal(sigName)
 		if err != nil {
 			return Rule{}, err
+		}
+		if fleetOnly(sig) && sc != ScopeFleet {
+			return Rule{}, fmt.Errorf("%w: signal %q exists only at fleet scope", ErrBadRule, sig)
+		}
+		// The action scope is the most specific condition scope; rack
+		// and row conditions never share a rule (whose domain would the
+		// action pick?).
+		if sc != ScopeFleet {
+			if rule.Scope != ScopeFleet && rule.Scope != sc {
+				return Rule{}, fmt.Errorf("%w: %q mixes rack and row scopes", ErrBadRule, s)
+			}
+			rule.Scope = sc
 		}
 		op, err := parseOp(toks[1])
 		if err != nil {
@@ -233,11 +296,11 @@ func ParseRule(s string) (Rule, error) {
 		if err != nil {
 			return Rule{}, fmt.Errorf("%w: non-numeric threshold %q", ErrBadRule, toks[2])
 		}
-		rule.Conds = append(rule.Conds, Cond{Sig: sig, Op: op, Val: val})
+		rule.Conds = append(rule.Conds, Cond{Scope: sc, Sig: sig, Op: op, Val: val})
 		scoped = true
 		toks = toks[3:]
 	}
-	rule.text = strings.Join(f, " ")
+	rule.text = strings.Join(strings.Fields(s), " ")
 	return rule, nil
 }
 
@@ -341,7 +404,7 @@ func (c *Cluster) rowSignal(sig Signal, row, epoch int) float64 {
 		for _, i := range racks {
 			offered += c.offeredGbps(i)
 			if r := c.racks[i]; !r.dead {
-				capacity += r.capacityGbps * r.capScale
+				capacity += r.effCapacityGbps() * r.capScale
 			}
 		}
 		if capacity == 0 {
@@ -367,6 +430,73 @@ func (c *Cluster) rowSignal(sig Signal, row, epoch int) float64 {
 	return 0
 }
 
+// fleetSignal evaluates a signal over the whole cluster.
+func (c *Cluster) fleetSignal(sig Signal, epoch int) float64 {
+	switch sig {
+	case SigDead, SigDraining:
+		n := 0.0
+		for i := range c.racks {
+			if c.rackSignal(sig, i, epoch) == 1 {
+				n++
+			}
+		}
+		return n
+	case SigFailedDevices:
+		sum := 0.0
+		for i := range c.racks {
+			sum += c.rackSignal(sig, i, epoch)
+		}
+		return sum
+	case SigPressure:
+		return c.fleetPressure()
+	case SigHeadroom:
+		return 1 - c.fleetPressure()
+	case SigDegraded:
+		worst := 0.0
+		for i := range c.racks {
+			if v := c.rackSignal(sig, i, epoch); v > worst {
+				worst = v
+			}
+		}
+		return worst
+	case SigRepaired:
+		for i := range c.racks {
+			if c.rackSignal(sig, i, epoch) == 1 {
+				return 1
+			}
+		}
+		return 0
+	case SigInflight:
+		n := 0.0
+		for _, t := range c.tenants {
+			if t.rack < 0 || t.rack != t.Home {
+				n++
+			}
+		}
+		return n
+	case SigQueue:
+		queued, _ := c.repairQueue()
+		return float64(queued)
+	}
+	return 0
+}
+
+// fleetPressure is total offered demand over the live fleet's effective
+// capacity (1 when nothing survives).
+func (c *Cluster) fleetPressure() float64 {
+	var offered, capacity float64
+	for i, r := range c.racks {
+		offered += c.offeredGbps(i)
+		if !r.dead {
+			capacity += r.effCapacityGbps() * r.capScale
+		}
+	}
+	if capacity == 0 {
+		return 1
+	}
+	return offered / capacity
+}
+
 // rowRacks returns the rack indexes of a row, index order.
 func (c *Cluster) rowRacks(row int) []int {
 	var out []int
@@ -387,31 +517,50 @@ func (c *Cluster) rowRacks(row int) []int {
 func (c *Cluster) runPolicy(epoch int) int {
 	acted := 0
 	for _, rule := range c.cfg.Remediate.rules {
+		// Each rule's token bucket refills at the heartbeat: Limit
+		// state changes this epoch, unbounded when no limit was set.
+		budget := rule.Limit
+		if budget <= 0 {
+			budget = -1
+		}
 		switch rule.Scope {
 		case ScopeRack:
 			for i := range c.racks {
-				if c.ruleMatches(rule, ScopeRack, i, epoch) {
-					acted += c.applyAction(rule.Action, []int{i})
+				if c.ruleMatches(rule, i, epoch) {
+					acted += c.applyAction(rule.Action, []int{i}, &budget)
 				}
 			}
 		case ScopeRow:
 			for row := 0; row < c.cfg.Topo.RowCount(); row++ {
-				if c.ruleMatches(rule, ScopeRow, row, epoch) {
-					acted += c.applyAction(rule.Action, c.rowRacks(row))
+				if c.ruleMatches(rule, row, epoch) {
+					acted += c.applyAction(rule.Action, c.rowRacks(row), &budget)
 				}
+			}
+		case ScopeFleet:
+			// Pure fleet rules act on every rack in index order.
+			if c.ruleMatches(rule, 0, epoch) {
+				all := make([]int, len(c.racks))
+				for i := range all {
+					all[i] = i
+				}
+				acted += c.applyAction(rule.Action, all, &budget)
 			}
 		}
 	}
 	return acted
 }
 
-// ruleMatches evaluates a rule's ANDed conditions for one domain.
-func (c *Cluster) ruleMatches(rule Rule, scope Scope, idx, epoch int) bool {
+// ruleMatches evaluates a rule's ANDed conditions for one domain of its
+// action scope; fleet conditions ignore the domain index.
+func (c *Cluster) ruleMatches(rule Rule, idx, epoch int) bool {
 	for _, cond := range rule.Conds {
 		var v float64
-		if scope == ScopeRow {
+		switch cond.Scope {
+		case ScopeFleet:
+			v = c.fleetSignal(cond.Sig, epoch)
+		case ScopeRow:
 			v = c.rowSignal(cond.Sig, idx, epoch)
-		} else {
+		default:
 			v = c.rackSignal(cond.Sig, idx, epoch)
 		}
 		if !cond.Op.eval(v, cond.Val) {
@@ -421,29 +570,55 @@ func (c *Cluster) ruleMatches(rule Rule, scope Scope, idx, epoch int) bool {
 	return true
 }
 
-// applyAction applies one action to the matched racks and returns how
-// many state changes it made.
-func (c *Cluster) applyAction(act Action, racks []int) int {
+// spend consumes one token from a rule budget. A negative budget is
+// unlimited; an exhausted one counts the suppressed action so the
+// throttling is visible in the epoch stats.
+func (c *Cluster) spend(budget *int) bool {
+	if *budget < 0 {
+		return true
+	}
+	if *budget == 0 {
+		c.remedThrottled++
+		return false
+	}
+	*budget--
+	return true
+}
+
+// applyAction applies one action to the matched racks within the rule's
+// budget and returns how many state changes it made. Rack actions
+// (drain, reopen) cost one token per rack; tenant actions (migrate,
+// repatriate) cost one token per tenant moved.
+func (c *Cluster) applyAction(act Action, racks []int, budget *int) int {
 	acted := 0
 	switch act {
 	case ActDrain:
 		for _, idx := range racks {
+			if !c.drainable(idx) {
+				continue
+			}
+			if !c.spend(budget) {
+				continue
+			}
 			if _, _, err := c.drainRack(idx, drainPolicy); err == nil {
 				acted++
 			}
 		}
 	case ActMigrate:
 		for _, idx := range racks {
-			acted += c.evacuate(idx)
+			acted += c.evacuate(idx, budget)
 		}
 	case ActRepatriate:
 		for _, idx := range racks {
-			acted += c.repatriateHome(idx)
+			acted += c.repatriateHome(idx, budget)
 		}
 	case ActReopen:
 		for _, idx := range racks {
 			r := c.racks[idx]
 			if r.draining && r.drainedBy == drainPolicy && !r.dead {
+				if !c.spend(budget) {
+					continue
+				}
 				if c.reopenRack(idx) == nil {
 					acted++
 				}
@@ -453,11 +628,21 @@ func (c *Cluster) applyAction(act Action, racks []int) int {
 	return acted
 }
 
+// drainable mirrors drainRack's preconditions so a budget token is only
+// spent on a drain that can actually happen.
+func (c *Cluster) drainable(idx int) bool {
+	if idx < 0 || idx >= len(c.racks) || !c.cfg.Federate {
+		return false
+	}
+	r := c.racks[idx]
+	return !r.draining && !r.dead
+}
+
 // evacuate re-places every tenant resident on a rack onto the nearest
 // servable rack by path cost, charging each move as remediation
-// downtime. Tenants with nowhere to go stay put (a later heartbeat
-// retries).
-func (c *Cluster) evacuate(idx int) int {
+// downtime and one budget token. Tenants with nowhere to go (or beyond
+// the rule's rate limit) stay put — a later heartbeat retries.
+func (c *Cluster) evacuate(idx int, budget *int) int {
 	moved := 0
 	for _, t := range c.tenants {
 		if t.rack != idx {
@@ -465,6 +650,9 @@ func (c *Cluster) evacuate(idx int) int {
 		}
 		dst := c.coldestRackFor(t, idx)
 		if dst < 0 {
+			continue
+		}
+		if !c.spend(budget) {
 			continue
 		}
 		cost := c.MigrationCost(idx, dst)
@@ -481,7 +669,8 @@ func (c *Cluster) evacuate(idx int) int {
 // repatriateHome brings tenants homed in a rack back while the home
 // stays under the spill threshold (same guard as placement, no
 // hysteresis: the rule's own conditions already gated the trigger).
-func (c *Cluster) repatriateHome(idx int) int {
+// Each move costs one budget token.
+func (c *Cluster) repatriateHome(idx int, budget *int) int {
 	home := c.racks[idx]
 	moved := 0
 	for _, t := range c.tenants {
@@ -491,8 +680,11 @@ func (c *Cluster) repatriateHome(idx int) int {
 		if !c.canServe(t, idx) {
 			continue
 		}
-		if cap := home.capacityGbps * home.capScale; cap == 0 ||
+		if cap := home.effCapacityGbps() * home.capScale; cap == 0 ||
 			(c.offeredGbps(idx)+t.gbps)/cap > c.cfg.PressureThreshold {
+			continue
+		}
+		if !c.spend(budget) {
 			continue
 		}
 		if c.migrate(t, idx) != nil {
@@ -502,6 +694,10 @@ func (c *Cluster) repatriateHome(idx int) int {
 	}
 	return moved
 }
+
+// ThrottledActions returns the cumulative count of remediation actions
+// suppressed by per-rule rate limits over the run.
+func (c *Cluster) ThrottledActions() int { return c.remedThrottled }
 
 func b2f(b bool) float64 {
 	if b {

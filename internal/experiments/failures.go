@@ -29,7 +29,11 @@ func failuresParamSpecs() []params.Spec {
 		{Name: "epochs", Kind: params.Int, Def: "12", Min: 4, Max: 500, Bounded: true,
 			Help: "epochs to simulate"},
 		{Name: "class", Kind: params.String, Def: "rackkill", Enum: classes,
-			Help: "fault class to inject (mix = all five)"},
+			Help: "fault class to inject (mix = every class)"},
+		{Name: "domains", Kind: params.Int, Def: "2", Min: 1, Max: 64, Bounded: true,
+			Help: "PDU span: adjacent racks per power domain (a pdufail kills the whole group)"},
+		{Name: "crews", Kind: params.Int, Def: "0", Min: 0, Max: 64, Bounded: true,
+			Help: "repair crews (0 = unlimited workforce, the instant-service baseline)"},
 		{Name: "policy", Kind: params.String, Def: "on", Enum: []string{"on", "off"},
 			Help: "remediation policy engine: on (default rules) or off (tolerate only)"},
 		{Name: "sched", Kind: params.String, Def: "scripted",
@@ -44,7 +48,7 @@ func failuresParamSpecs() []params.Spec {
 	}
 }
 
-// failureClasses resolves the class knob ("mix" = all five).
+// failureClasses resolves the class knob ("mix" = every class).
 func failureClasses(name string) ([]faults.Class, error) {
 	if name == "mix" {
 		return faults.Classes(), nil
@@ -62,14 +66,15 @@ func failureClasses(name string) ([]faults.Class, error) {
 // remediation, repair, and repatriation phases in one table; random and
 // bernoulli schedules are materialized from the seed and then behave
 // exactly like scripted ones.
-func failureSchedule(p *params.Set, classes []faults.Class) (*faults.Schedule, error) {
+func failureSchedule(p *params.Set, classes []faults.Class, pdus, hosts int) (*faults.Schedule, error) {
 	racks, rows, epochs := p.Int("racks"), p.Int("rows"), p.Int("epochs")
 	dur, rate := p.Int("duration"), p.Float("rate")
 	switch p.Str("sched") {
 	case "random":
 		return faults.Random(faults.RandomConfig{
-			Epochs: epochs, Racks: racks, Rows: rows,
-			Rate: rate, Classes: classes,
+			Epochs: epochs, Racks: racks, Rows: rows, PDUs: pdus,
+			HostsPerRack: hosts,
+			Rate:         rate, Classes: classes,
 			MinDuration: 1, MaxDuration: dur,
 			Seed: p.Seed(),
 		})
@@ -89,6 +94,21 @@ func failureSchedule(p *params.Set, classes []faults.Class) (*faults.Schedule, e
 		switch c {
 		case faults.RowKill:
 			events = append(events, faults.Event{Class: c, At: at1, Duration: dur, Row: 1 % rows})
+		case faults.CRACFail:
+			events = append(events, faults.Event{Class: c, At: at1, Duration: dur, Row: 1 % rows})
+		case faults.PDUFail:
+			events = append(events, faults.Event{Class: c, At: at1, Duration: dur, PDU: 1 % pdus})
+			if at2 > at1 {
+				events = append(events, faults.Event{Class: c, At: at2, Duration: dur,
+					PDU: (1 + pdus/2) % pdus})
+			}
+		case faults.HostKill:
+			events = append(events, faults.Event{Class: c, At: at1, Duration: dur,
+				Rack: 1, Host: 1})
+			if at2 > at1 {
+				events = append(events, faults.Event{Class: c, At: at2, Duration: dur,
+					Rack: (1 + racks/2) % racks, Host: 1})
+			}
 		case faults.Brownout:
 			events = append(events, faults.Event{Class: c, At: at1, Duration: dur,
 				Src: 0, Dst: racks - 1, Severity: 0.3})
@@ -123,11 +143,15 @@ func runFailures(_ context.Context, p *params.Set) (*report.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	sched, err := failureSchedule(p, classes)
+	base, err := cluster.ConfigFromParams(p)
 	if err != nil {
 		return nil, err
 	}
-	base, err := cluster.ConfigFromParams(p)
+	// The power-domain overlay: -domains adjacent racks share one PDU.
+	if base.Topo, err = base.Topo.WithPDUSpan(p.Int("domains")); err != nil {
+		return nil, err
+	}
+	sched, err := failureSchedule(p, classes, base.Topo.PDUCount(), base.Topo.Rack(0).Spec.Hosts)
 	if err != nil {
 		return nil, err
 	}
@@ -137,6 +161,7 @@ func runFailures(_ context.Context, p *params.Set) (*report.Report, error) {
 	// state within each.
 	cfg.Epoch = 500 * sim.Microsecond
 	cfg.Faults = sched
+	cfg.Crews = p.Int("crews")
 	policyOn := p.Str("policy") == "on"
 	if policyOn {
 		cfg.Remediate = cluster.DefaultRules()
@@ -151,12 +176,43 @@ func runFailures(_ context.Context, p *params.Set) (*report.Report, error) {
 	r := newReport("failures", p)
 	r.Linef("E16: failure injection & remediation — %v, %d tenants/rack, %gx rotating hotspot",
 		t, cfg.TenantsPerRack, cfg.Skew.HotFactor)
+	crewsDesc := "unlimited repair crews"
+	if cfg.Crews > 0 {
+		crewsDesc = fmt.Sprintf("repair crews: %d", cfg.Crews)
+	}
+	r.Linef("domains: %d PDUs (span %d), %d CRACs (one per row); %s",
+		t.PDUCount(), t.PDUSpan(), t.CRACCount(), crewsDesc)
 	r.Linef("schedule: %s/%s — %d events over %d epochs of %v; policy %s",
 		p.Str("sched"), p.Str("class"), sched.Len(), epochs, cfg.Epoch, p.Str("policy"))
 	if policyOn {
 		for _, rule := range cfg.Remediate.Rules() {
 			r.Linef("  rule: %s", rule)
 		}
+	}
+	r.Blank()
+
+	// Headline: the remediation-throttle sweep. Same fleet, schedule,
+	// and crews — only the evacuation rules' token bucket varies — so
+	// the table is the availability-vs-re-placement-bill trade the rate
+	// limiter buys: tighter limits spread the bill over more heartbeats
+	// at the cost of longer exposure.
+	pt := r.AddTable("policy_sweep",
+		report.StrCol("policy"), report.NumCol("availability"),
+		report.NumCol("moves"), report.NumCol("downtime ms"), report.NumCol("throttled"))
+	for _, v := range policyVariants() {
+		vc := cfg
+		vc.Remediate = v.rules
+		out, err := runPolicyVariant(vc, epochs)
+		if err != nil {
+			return nil, err
+		}
+		pt.Row(report.Str(v.name),
+			report.Num(out.avail, "%.4f"),
+			report.Num(float64(out.moves), "%d", out.moves),
+			report.Num(out.downtimeMs, "%.3f"),
+			report.Num(float64(out.throttled), "%d", out.throttled))
+		r.AddScalar("sweep."+v.key+".availability", out.avail, "")
+		r.AddScalar("sweep."+v.key+".moves", float64(out.moves), "")
 	}
 	r.Blank()
 
@@ -180,12 +236,14 @@ func runFailures(_ context.Context, p *params.Set) (*report.Report, error) {
 	// fault-free epochs define the baseline the dip is measured from.
 	et := r.AddTable("epochs",
 		report.NumCol("epoch"), report.StrCol("hot"),
-		report.NumCol("dead"), report.NumCol("faults"), report.NumCol("acts"),
+		report.NumCol("dead"), report.NumCol("faults"), report.NumCol("queue"),
+		report.NumCol("acts"),
 		report.NumCol("mig"), report.NumCol("rep"), report.NumCol("unpl"),
 		report.StrCol("off>del Gbps"), report.NumCol("goodput"))
 	goodput := report.Series{Name: "goodput_vs_epoch", XLabel: "epoch", YLabel: "delivered/offered"}
-	var baseSum float64
-	var baseN, totalActs int
+	queue := report.Series{Name: "queue_depth_vs_epoch", XLabel: "epoch", YLabel: "faults awaiting crew"}
+	var baseSum, queueSum float64
+	var baseN, totalActs, peakQueue int
 	minGoodput := 1.0
 	for e := 0; e < epochs; e++ {
 		st, err := c.RunEpoch()
@@ -202,6 +260,10 @@ func runFailures(_ context.Context, p *params.Set) (*report.Report, error) {
 			g = del / off
 		}
 		totalActs += st.PolicyActions
+		if st.RepairQueue > peakQueue {
+			peakQueue = st.RepairQueue
+		}
+		queueSum += float64(st.RepairQueue)
 		if st.FaultsActive == 0 && st.DeadRacks == 0 {
 			baseSum += g
 			baseN++
@@ -209,10 +271,12 @@ func runFailures(_ context.Context, p *params.Set) (*report.Report, error) {
 			minGoodput = g
 		}
 		goodput.Points = append(goodput.Points, [2]float64{float64(e), g})
+		queue.Points = append(queue.Points, [2]float64{float64(e), float64(st.RepairQueue)})
 		et.Row(report.Num(float64(st.Epoch), "%d", st.Epoch),
 			report.Strf("rack%d", st.HotRack),
 			report.Num(float64(st.DeadRacks), "%d", st.DeadRacks),
 			report.Num(float64(st.FaultsActive), "%d", st.FaultsActive),
+			report.Num(float64(st.RepairQueue), "%d", st.RepairQueue),
 			report.Num(float64(st.PolicyActions), "%d", st.PolicyActions),
 			report.Num(float64(st.Migrations), "%d", st.Migrations),
 			report.Num(float64(st.Repatriations), "%d", st.Repatriations),
@@ -221,27 +285,34 @@ func runFailures(_ context.Context, p *params.Set) (*report.Report, error) {
 			report.Num(g, "%.2f"))
 	}
 	r.AddSeries(goodput)
+	r.AddSeries(queue)
 	r.Blank()
 
-	// Per-class MTTR: tenant-visible, in epochs and wall-clock.
+	// Per-class MTTR: tenant-visible, in epochs and wall-clock, plus the
+	// crew-queue wait — the part of the outage the finite workforce
+	// added on top of the scheduled repair duration (zero with an
+	// unlimited workforce, the instant-service baseline).
 	mttr := c.MTTR()
 	epochMs := cfg.Epoch.Seconds() * 1e3
 	mt := r.AddTable("mttr",
 		report.StrCol("class"), report.NumCol("faults"), report.NumCol("recovered"),
-		report.NumCol("MTTR epochs"), report.NumCol("MTTR ms"))
+		report.NumCol("MTTR epochs"), report.NumCol("MTTR ms"), report.NumCol("wait epochs"))
 	for _, cl := range faults.Classes() {
 		injected := sched.Count(cl)
 		if injected == 0 && mttr.Count(cl) == 0 {
 			continue
 		}
 		me := mttr.MeanEpochs(cl)
+		wait := mttr.MeanWaitEpochs(cl)
 		mt.Row(report.Str(cl.String()),
 			report.Num(float64(injected), "%d", injected),
 			report.Num(float64(mttr.Count(cl)), "%d", mttr.Count(cl)),
 			report.Num(me, "%.2f"),
-			report.Num(me*epochMs, "%.2f"))
+			report.Num(me*epochMs, "%.2f"),
+			report.Num(wait, "%.2f"))
 		r.AddScalar("mttr."+cl.String()+".epochs", me, "epochs")
 		r.AddScalar("mttr."+cl.String()+".ms", me*epochMs, "ms")
+		r.AddScalar("mttr."+cl.String()+".wait_epochs", wait, "epochs")
 		r.AddScalar("faults."+cl.String()+".count", float64(injected), "")
 	}
 	r.Blank()
@@ -274,7 +345,7 @@ func runFailures(_ context.Context, p *params.Set) (*report.Report, error) {
 	if total > 0 {
 		simOut = float64(dead) / float64(total)
 	}
-	schedOut := sched.KillFraction(epochs, racks, t.RowOf)
+	schedOut := sched.KillFraction(epochs, racks, t.RowOf, t.PDUOf)
 	torOut := torless.AnalyticRackOutage(torless.Config{
 		PodSize:    t.Rack(0).Spec.Hosts,
 		PooledNICs: t.Rack(0).Spec.Devices(),
@@ -287,5 +358,79 @@ func runFailures(_ context.Context, p *params.Set) (*report.Report, error) {
 	r.AddScalar("availability.torless_rack_outage", torOut, "")
 	r.AddScalar("availability.simulated", 1-simOut, "")
 	r.AddScalar("policy.actions", float64(totalActs), "")
+	r.AddScalar("policy.throttled", float64(c.ThrottledActions()), "")
+
+	// Fleet-scope view: crews, queueing, and total wait — the numbers a
+	// finite workforce stretches and an unlimited one holds at zero.
+	r.Linef("repair: %s — peak queue %d, mean depth %.2f, %d fault-epochs waited",
+		crewsDesc, peakQueue, queueSum/float64(epochs), mttr.TotalWaitEpochs())
+	r.AddScalar("fleet.crews", float64(cfg.Crews), "")
+	r.AddScalar("fleet.queue.peak", float64(peakQueue), "")
+	r.AddScalar("fleet.queue.mean_depth", queueSum/float64(epochs), "")
+	r.AddScalar("fleet.wait.total_epochs", float64(mttr.TotalWaitEpochs()), "epochs")
 	return r, nil
+}
+
+// policyVariant is one remediation configuration of the headline
+// threshold sweep.
+type policyVariant struct {
+	key, name string
+	rules     *cluster.Remediation
+}
+
+// policyVariants builds the headline sweep's rule sets: policy off, the
+// default rules with the evacuation rules throttled to 1 and 2 tenant
+// moves per epoch, and the unthrottled default.
+func policyVariants() []policyVariant {
+	out := []policyVariant{{key: "off", name: "off", rules: nil}}
+	for _, lim := range []int{1, 2} {
+		rules, err := cluster.ParseRules(
+			fmt.Sprintf("when rack.dead == 1 -> migrate limit %d/epoch", lim),
+			fmt.Sprintf("when row.unreachable == 1 -> migrate limit %d/epoch", lim),
+			"when rack.failedDevices >= 1 -> drain",
+			"when rack.degraded >= 0.5 -> drain",
+			"when rack.repaired == 1 -> reopen",
+			"when rack.repaired == 1 && rack.pressure <= 0.6 -> repatriate",
+		)
+		if err != nil {
+			panic(err) // static rules cannot fail to parse
+		}
+		out = append(out, policyVariant{
+			key:   fmt.Sprintf("limit%d", lim),
+			name:  fmt.Sprintf("limit %d/epoch", lim),
+			rules: rules,
+		})
+	}
+	out = append(out, policyVariant{key: "unlimited", name: "unlimited", rules: cluster.DefaultRules()})
+	return out
+}
+
+// policyOutcome is one sweep variant's availability and re-placement
+// bill.
+type policyOutcome struct {
+	avail      float64
+	moves      int
+	downtimeMs float64
+	throttled  int
+}
+
+// runPolicyVariant rides the shared schedule out on a fresh cluster
+// under one rule set and tallies the trade.
+func runPolicyVariant(cfg cluster.Config, epochs int) (policyOutcome, error) {
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return policyOutcome{}, err
+	}
+	if _, err := c.Run(epochs); err != nil {
+		return policyOutcome{}, err
+	}
+	dead, total := c.SimulatedRackOutage()
+	out := policyOutcome{avail: 1, throttled: c.ThrottledActions()}
+	if total > 0 {
+		out.avail = 1 - float64(dead)/float64(total)
+	}
+	var downtime sim.Duration
+	out.moves, downtime = c.RemediationCost()
+	out.downtimeMs = downtime.Seconds() * 1e3
+	return out, nil
 }

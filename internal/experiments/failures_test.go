@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"math"
 	"strconv"
 	"strings"
 	"testing"
@@ -96,18 +97,125 @@ func TestFailuresAllClassesRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fleet simulation in -short mode")
 	}
-	for _, class := range []string{"rackkill", "rowkill", "flapnic", "slowcxl", "brownout", "mix"} {
+	all := []string{"rackkill", "rowkill", "flapnic", "slowcxl", "brownout",
+		"pdufail", "cracfail", "hostkill"}
+	for _, class := range append(all, "mix") {
 		rep := runFailuresParams(t, 42, map[string]string{"class": class})
 		if rep.Text() == "" {
 			t.Errorf("class %s produced no output", class)
 		}
 		if class == "mix" {
 			// One event per class, every class recovered by horizon end.
-			for _, c := range []string{"rackkill", "rowkill", "flapnic", "slowcxl", "brownout"} {
+			for _, c := range all {
 				if scalar(t, rep, "faults."+c+".count") != 1 {
 					t.Errorf("mix storyline missing a %s event", c)
 				}
 			}
+		}
+	}
+}
+
+// pinScalar asserts a scalar to within float-printing tolerance — the
+// regression pin for figures that must not drift across PRs.
+func pinScalar(t *testing.T, rep *report.Report, name string, want float64) {
+	t.Helper()
+	got := scalar(t, rep, name)
+	tol := 1e-6 * math.Max(1, math.Abs(want))
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want the pinned %v", name, got, want)
+	}
+}
+
+// The backward-compatibility contract for the crew/domain machinery:
+// with unlimited crews (the default) and the independent fault classes,
+// E16 reproduces the pre-crew figures exactly. These values are pinned
+// from the scenario as it stood before correlated domains landed.
+func TestFailuresPinnedPreCrewFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulation in -short mode")
+	}
+	def := runFailuresParams(t, 42, nil)
+	pinScalar(t, def, "mttr.rackkill.epochs", 1)
+	pinScalar(t, def, "availability.simulated_outage", 1.0/12)
+	pinScalar(t, def, "availability.simulated", 11.0/12)
+	pinScalar(t, def, "replacement.moves", 11)
+	pinScalar(t, def, "replacement.downtime_ms", 3.780084)
+	pinScalar(t, def, "goodput.baseline", 0.9792575306688321)
+	pinScalar(t, def, "policy.actions", 23)
+	pinScalar(t, def, "availability.torless_rack_outage", 0.00022350437458107386)
+	// Unlimited crews never queue or throttle anything by default.
+	pinScalar(t, def, "fleet.wait.total_epochs", 0)
+	pinScalar(t, def, "policy.throttled", 0)
+
+	off := runFailuresParams(t, 42, map[string]string{"policy": "off"})
+	pinScalar(t, off, "mttr.rackkill.epochs", 3)
+	pinScalar(t, off, "replacement.moves", 0)
+	pinScalar(t, off, "availability.simulated_outage", 1.0/12)
+
+	row := runFailuresParams(t, 42, map[string]string{"class": "rowkill"})
+	pinScalar(t, row, "mttr.rowkill.epochs", 1)
+	pinScalar(t, row, "replacement.moves", 18)
+	pinScalar(t, row, "availability.simulated_outage", 0.125)
+
+	for _, class := range []string{"slowcxl", "flapnic"} {
+		rep := runFailuresParams(t, 42, map[string]string{"class": class})
+		pinScalar(t, rep, "mttr."+class+".epochs", 1)
+		pinScalar(t, rep, "replacement.moves", 0)
+		pinScalar(t, rep, "availability.simulated_outage", 0)
+	}
+}
+
+// Finite crews at the scenario level: the mix storyline's staggered
+// faults outnumber a single crew, so repairs queue — waiting time and
+// queue depth show up in the report where unlimited crews show none.
+func TestFailuresCrewsQueueRepairs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulation in -short mode")
+	}
+	free := runFailuresParams(t, 42, map[string]string{"class": "mix"})
+	one := runFailuresParams(t, 42, map[string]string{"class": "mix", "crews": "1"})
+	if scalar(t, free, "fleet.wait.total_epochs") != 0 {
+		t.Error("unlimited crews recorded waiting time")
+	}
+	if scalar(t, free, "fleet.queue.peak") != 0 {
+		t.Error("unlimited crews recorded queue depth")
+	}
+	if scalar(t, one, "fleet.wait.total_epochs") == 0 {
+		t.Error("crews=1 under the mix storm recorded no waiting time")
+	}
+	if scalar(t, one, "fleet.queue.peak") == 0 {
+		t.Error("crews=1 under the mix storm never built a queue")
+	}
+	if !strings.Contains(one.Text(), "repair crews: 1") {
+		t.Error("report does not state the crew count")
+	}
+	if !strings.Contains(free.Text(), "unlimited repair crews") {
+		t.Error("report does not state unlimited crews")
+	}
+}
+
+// The headline policy-threshold sweep: tighter rate limits trade
+// availability for a smaller per-heartbeat re-placement bill, and the
+// off/unlimited ends of the table agree with the headline scalars.
+func TestFailuresPolicySweepTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulation in -short mode")
+	}
+	rep := runFailuresParams(t, 42, nil)
+	offAvail := scalar(t, rep, "sweep.off.availability")
+	unlAvail := scalar(t, rep, "sweep.unlimited.availability")
+	if offAvail > unlAvail {
+		t.Errorf("policy off availability %.4f above unlimited %.4f", offAvail, unlAvail)
+	}
+	if scalar(t, rep, "sweep.off.moves") != 0 {
+		t.Error("policy off variant recorded moves")
+	}
+	// The default run IS the unlimited variant: same fleet, same rules.
+	pinScalar(t, rep, "sweep.unlimited.moves", scalar(t, rep, "replacement.moves"))
+	pinScalar(t, rep, "sweep.unlimited.availability", scalar(t, rep, "availability.simulated"))
+	for _, key := range []string{"limit1", "limit2"} {
+		if scalar(t, rep, "sweep."+key+".moves") > scalar(t, rep, "sweep.unlimited.moves") {
+			t.Errorf("rate-limited variant %s moved more than unlimited", key)
 		}
 	}
 }

@@ -41,6 +41,19 @@ const (
 	// Brownout scales the bandwidth of one fabric path: a partial
 	// inter-rack (or inter-row) link degradation.
 	Brownout
+	// PDUFail is a correlated power failure: every rack sharing the
+	// targeted power distribution unit dies simultaneously.
+	PDUFail
+	// CRACFail is a correlated cooling failure: every rack in the
+	// targeted row thermally throttles to a fraction of its line rate
+	// until the CRAC is repaired (cooling loss degrades, power loss
+	// kills).
+	CRACFail
+	// HostKill takes one device host inside a rack offline: the rack's
+	// engine keeps running at reduced capacity and placement sees the
+	// shrunken inventory (the partial-degradation counterpart of
+	// RackKill).
+	HostKill
 
 	classCount
 )
@@ -50,7 +63,7 @@ const ClassCount = int(classCount)
 
 // Classes returns every fault class in declaration order.
 func Classes() []Class {
-	return []Class{RackKill, RowKill, FlapNIC, SlowCXL, Brownout}
+	return []Class{RackKill, RowKill, FlapNIC, SlowCXL, Brownout, PDUFail, CRACFail, HostKill}
 }
 
 // String names the class (the spelling ParseClass accepts).
@@ -66,8 +79,34 @@ func (c Class) String() string {
 		return "slowcxl"
 	case Brownout:
 		return "brownout"
+	case PDUFail:
+		return "pdufail"
+	case CRACFail:
+		return "cracfail"
+	case HostKill:
+		return "hostkill"
 	default:
 		return "unknown"
+	}
+}
+
+// Kills reports whether the class takes whole racks offline (the kill
+// classes are what KillFraction and the dead-rack analytics count).
+func (c Class) Kills() bool {
+	return c == RackKill || c == RowKill || c == PDUFail
+}
+
+// RepairPriority orders the finite repair-crew queue: dead racks
+// first (0), degradations second (1), flapping devices last (2). Lower
+// is more urgent.
+func (c Class) RepairPriority() int {
+	switch c {
+	case RackKill, RowKill, PDUFail:
+		return 0
+	case FlapNIC:
+		return 2
+	default:
+		return 1
 	}
 }
 
@@ -91,6 +130,9 @@ const (
 	DefaultSlowCXLScale = 0.4
 	// DefaultBrownoutScale is the bandwidth multiplier of a Brownout.
 	DefaultBrownoutScale = 0.3
+	// DefaultCRACScale is the thermal-throttle capacity multiplier a
+	// CRACFail applies to every rack in the row.
+	DefaultCRACScale = 0.5
 	// DefaultFlaps is fail/repair cycles per epoch for FlapNIC.
 	DefaultFlaps = 2
 )
@@ -104,10 +146,15 @@ type Event struct {
 	At int
 	// Duration is epochs until physical repair (>= 1).
 	Duration int
-	// Rack targets RackKill, FlapNIC, and SlowCXL.
+	// Rack targets RackKill, FlapNIC, SlowCXL, and HostKill.
 	Rack int
-	// Row targets RowKill.
+	// Row targets RowKill and CRACFail (a CRAC cools exactly one row).
 	Row int
+	// PDU targets PDUFail: every rack sharing the power domain dies.
+	PDU int
+	// Host targets HostKill: the device-host index inside the rack
+	// (1..hosts-1; host 0 is the orchestrator home and stays up).
+	Host int
 	// Device selects the flapped NIC within the rack's pooled devices
 	// (taken modulo the pool size) for FlapNIC.
 	Device int
@@ -132,17 +179,27 @@ func (e Event) Scale() float64 {
 	if e.Severity > 0 {
 		return e.Severity
 	}
-	if e.Class == Brownout {
+	switch e.Class {
+	case Brownout:
 		return DefaultBrownoutScale
+	case CRACFail:
+		return DefaultCRACScale
 	}
 	return DefaultSlowCXLScale
 }
 
-// Target names the faulted domain ("rack2", "row1", "rack0-rack3").
+// Target names the faulted domain ("rack2", "row1", "pdu0", "crac1",
+// "rack2/host1", "rack0-rack3").
 func (e Event) Target() string {
 	switch e.Class {
 	case RowKill:
 		return fmt.Sprintf("row%d", e.Row)
+	case CRACFail:
+		return fmt.Sprintf("crac%d", e.Row)
+	case PDUFail:
+		return fmt.Sprintf("pdu%d", e.PDU)
+	case HostKill:
+		return fmt.Sprintf("rack%d/host%d", e.Rack, e.Host)
 	case Brownout:
 		return fmt.Sprintf("rack%d-rack%d", e.Src, e.Dst)
 	default:
@@ -155,8 +212,24 @@ func (e Event) String() string {
 	return fmt.Sprintf("%s %s @e%d (%d epochs)", e.Class, e.Target(), e.At, e.Duration)
 }
 
+// Fleet is the shape a schedule validates against: the domain counts
+// of the topology the events will be bound to. Every event targeting a
+// rack, row, PDU, CRAC, or host outside these bounds is a typed error
+// at schedule binding — never a silent skip or a mid-run panic.
+type Fleet struct {
+	// Racks and Rows are the rack and row (= CRAC) counts.
+	Racks, Rows int
+	// PDUs is the power-domain count (0: the topology carries no PDU
+	// overlay, so PDUFail events are invalid).
+	PDUs int
+	// HostsPerRack returns rack i's host count (host 0 is the
+	// orchestrator home). Nil skips the per-rack host bound — HostKill
+	// events then only need Host >= 1.
+	HostsPerRack func(rack int) int
+}
+
 // Validate checks the event against a fleet shape.
-func (e Event) Validate(racks, rows int) error {
+func (e Event) Validate(f Fleet) error {
 	if e.At < 0 || e.Duration < 1 {
 		return fmt.Errorf("%w: %s needs At >= 0 and Duration >= 1", ErrInvalid, e)
 	}
@@ -164,17 +237,31 @@ func (e Event) Validate(racks, rows int) error {
 		return fmt.Errorf("%w: %s severity %g outside (0,1)", ErrInvalid, e, e.Severity)
 	}
 	switch e.Class {
-	case RackKill, FlapNIC, SlowCXL:
-		if e.Rack < 0 || e.Rack >= racks {
-			return fmt.Errorf("%w: %s targets rack %d of %d", ErrInvalid, e, e.Rack, racks)
+	case RackKill, FlapNIC, SlowCXL, HostKill:
+		if e.Rack < 0 || e.Rack >= f.Racks {
+			return fmt.Errorf("%w: %s targets rack %d of %d", ErrInvalid, e, e.Rack, f.Racks)
 		}
-	case RowKill:
-		if e.Row < 0 || e.Row >= rows {
-			return fmt.Errorf("%w: %s targets row %d of %d", ErrInvalid, e, e.Row, rows)
+		if e.Class == HostKill {
+			if e.Host < 1 {
+				return fmt.Errorf("%w: %s targets host %d (host 0 is the orchestrator home)", ErrInvalid, e, e.Host)
+			}
+			if f.HostsPerRack != nil {
+				if hosts := f.HostsPerRack(e.Rack); e.Host >= hosts {
+					return fmt.Errorf("%w: %s targets host %d of %d", ErrInvalid, e, e.Host, hosts)
+				}
+			}
+		}
+	case RowKill, CRACFail:
+		if e.Row < 0 || e.Row >= f.Rows {
+			return fmt.Errorf("%w: %s targets row %d of %d", ErrInvalid, e, e.Row, f.Rows)
+		}
+	case PDUFail:
+		if e.PDU < 0 || e.PDU >= f.PDUs {
+			return fmt.Errorf("%w: %s targets PDU %d of %d", ErrInvalid, e, e.PDU, f.PDUs)
 		}
 	case Brownout:
-		if e.Src < 0 || e.Src >= racks || e.Dst < 0 || e.Dst >= racks || e.Src == e.Dst {
-			return fmt.Errorf("%w: %s needs two distinct racks in 0..%d", ErrInvalid, e, racks-1)
+		if e.Src < 0 || e.Src >= f.Racks || e.Dst < 0 || e.Dst >= f.Racks || e.Src == e.Dst {
+			return fmt.Errorf("%w: %s needs two distinct racks in 0..%d", ErrInvalid, e, f.Racks-1)
 		}
 	default:
 		return fmt.Errorf("%w: unknown class %d", ErrInvalid, int(e.Class))
@@ -248,9 +335,9 @@ func (s *Schedule) Count(c Class) int {
 }
 
 // Validate checks every event against a fleet shape.
-func (s *Schedule) Validate(racks, rows int) error {
+func (s *Schedule) Validate(f Fleet) error {
 	for _, e := range s.events {
-		if err := e.Validate(racks, rows); err != nil {
+		if err := e.Validate(f); err != nil {
 			return err
 		}
 	}
@@ -258,11 +345,14 @@ func (s *Schedule) Validate(racks, rows int) error {
 }
 
 // KillFraction is the exact fraction of rack-epochs in [0, epochs) that
-// the schedule's kill events (RackKill, RowKill) cover — the analytic
-// dead-rack expectation the cluster's measured outage is compared
-// against. rowOf maps a rack to its row; overlapping kills on the same
-// rack are not double counted.
-func (s *Schedule) KillFraction(epochs, racks int, rowOf func(rack int) int) float64 {
+// the schedule's kill events (RackKill, RowKill, PDUFail) cover — the
+// analytic dead-rack expectation the cluster's measured outage is
+// compared against under instant crews. rowOf and pduOf map a rack to
+// its row and power domain (pduOf may be nil when the schedule holds no
+// PDUFail events); overlapping kills on the same rack are not double
+// counted. With finite repair crews the measured outage exceeds this
+// figure by the queueing delay — that gap is the crews study's signal.
+func (s *Schedule) KillFraction(epochs, racks int, rowOf, pduOf func(rack int) int) float64 {
 	if epochs <= 0 || racks <= 0 {
 		return 0
 	}
@@ -284,6 +374,15 @@ func (s *Schedule) KillFraction(epochs, racks int, rowOf func(rack int) int) flo
 					mark(r, ev.At, ev.RepairAt())
 				}
 			}
+		case PDUFail:
+			if pduOf == nil {
+				continue
+			}
+			for r := 0; r < racks; r++ {
+				if pduOf(r) == ev.PDU {
+					mark(r, ev.At, ev.RepairAt())
+				}
+			}
 		}
 	}
 	n := 0
@@ -301,9 +400,15 @@ type RandomConfig struct {
 	Epochs int
 	// Racks and Rows describe the fleet the events target.
 	Racks, Rows int
+	// PDUs is the power-domain count PDUFail draws target (required
+	// when Classes includes PDUFail).
+	PDUs int
+	// HostsPerRack bounds HostKill draws (default DefaultRandomHosts;
+	// host 0 is never drawn).
+	HostsPerRack int
 	// Rate is the expected fault strikes per epoch, fleet-wide.
 	Rate float64
-	// Classes are the candidate classes (nil: all five).
+	// Classes are the candidate classes (nil: all of them).
 	Classes []Class
 	// MinDuration and MaxDuration bound event durations in epochs
 	// (defaults 1 and 3).
@@ -311,6 +416,11 @@ type RandomConfig struct {
 	// Seed drives the draw.
 	Seed int64
 }
+
+// DefaultRandomHosts is the per-rack host count HostKill draws assume
+// when RandomConfig leaves HostsPerRack at zero (the topo default
+// shape: one orchestrator home plus two device hosts).
+const DefaultRandomHosts = 3
 
 // Random draws a schedule from a seeded stream: per epoch the strike
 // count is Bernoulli-split from Rate, then each strike draws a class,
@@ -327,6 +437,28 @@ func Random(cfg RandomConfig) (*Schedule, error) {
 	classes := cfg.Classes
 	if len(classes) == 0 {
 		classes = Classes()
+		if cfg.PDUs <= 0 {
+			// No power overlay described: drop PDUFail rather than draw
+			// events a later Validate would reject.
+			classes = classes[:0]
+			for _, c := range Classes() {
+				if c != PDUFail {
+					classes = append(classes, c)
+				}
+			}
+		}
+	}
+	for _, c := range classes {
+		if c == PDUFail && cfg.PDUs <= 0 {
+			return nil, fmt.Errorf("%w: pdufail draws need PDUs > 0", ErrInvalid)
+		}
+	}
+	hosts := cfg.HostsPerRack
+	if hosts <= 0 {
+		hosts = DefaultRandomHosts
+	}
+	if hosts < 2 {
+		return nil, fmt.Errorf("%w: hostkill draws need HostsPerRack >= 2", ErrInvalid)
 	}
 	minD, maxD := cfg.MinDuration, cfg.MaxDuration
 	if minD <= 0 {
@@ -361,6 +493,14 @@ func Random(cfg RandomConfig) (*Schedule, error) {
 				ev.Severity = 0.3 + 0.4*rng.Float64()
 			case RowKill:
 				ev.Row = rng.Intn(cfg.Rows)
+			case CRACFail:
+				ev.Row = rng.Intn(cfg.Rows)
+				ev.Severity = 0.3 + 0.4*rng.Float64()
+			case PDUFail:
+				ev.PDU = rng.Intn(cfg.PDUs)
+			case HostKill:
+				ev.Rack = rng.Intn(cfg.Racks)
+				ev.Host = 1 + rng.Intn(hosts-1)
 			case Brownout:
 				ev.Src = rng.Intn(cfg.Racks)
 				ev.Dst = (ev.Src + 1 + rng.Intn(cfg.Racks-1)) % cfg.Racks
@@ -399,10 +539,18 @@ func Bernoulli(epochs, racks int, p float64, seed int64) (*Schedule, error) {
 // MTTR accumulates per-class mean-time-to-recovery in epochs. Recovery
 // is tenant-visible: the first heartbeat at which no tenant remains
 // exposed to the fault (remediated away or physically repaired),
-// recorded by the cluster's epoch loop. The zero value is ready to use.
+// recorded by the cluster's epoch loop. Alongside recoveries it tracks
+// per-class repair-crew waiting time — the epochs a struck fault sat in
+// the repair queue before a crew picked it up (always zero with
+// unlimited crews; the queueing-delay tail is exactly what finite crews
+// add on top of the scheduled repair durations). The zero value is
+// ready to use.
 type MTTR struct {
 	count [classCount]int
 	total [classCount]int
+
+	waitCount [classCount]int
+	waitTotal [classCount]int
 }
 
 // Record adds one recovery observation for a class.
@@ -412,6 +560,42 @@ func (m *MTTR) Record(c Class, epochs int) {
 	}
 	m.count[c]++
 	m.total[c] += epochs
+}
+
+// RecordWait adds one crew-assignment observation: the epochs the
+// fault waited in the repair queue before service began.
+func (m *MTTR) RecordWait(c Class, epochs int) {
+	if c < 0 || c >= classCount {
+		return
+	}
+	m.waitCount[c]++
+	m.waitTotal[c] += epochs
+}
+
+// WaitCount returns crew assignments recorded for a class.
+func (m *MTTR) WaitCount(c Class) int {
+	if c < 0 || c >= classCount {
+		return 0
+	}
+	return m.waitCount[c]
+}
+
+// MeanWaitEpochs returns the class's mean repair-queue wait in epochs
+// (0 when no assignment has been recorded).
+func (m *MTTR) MeanWaitEpochs(c Class) float64 {
+	if c < 0 || c >= classCount || m.waitCount[c] == 0 {
+		return 0
+	}
+	return float64(m.waitTotal[c]) / float64(m.waitCount[c])
+}
+
+// TotalWaitEpochs returns queue-wait epochs summed across classes.
+func (m *MTTR) TotalWaitEpochs() int {
+	n := 0
+	for _, w := range m.waitTotal {
+		n += w
+	}
+	return n
 }
 
 // Count returns recoveries recorded for a class.

@@ -24,7 +24,7 @@ func TestClassParseRoundtrip(t *testing.T) {
 }
 
 func TestEventValidateBounds(t *testing.T) {
-	const racks, rows = 4, 2
+	fleet := Fleet{Racks: 4, Rows: 2, PDUs: 2, HostsPerRack: func(int) int { return 3 }}
 	for _, tc := range []struct {
 		name string
 		ev   Event
@@ -39,9 +39,16 @@ func TestEventValidateBounds(t *testing.T) {
 		{"severity at 1", Event{Class: SlowCXL, At: 0, Duration: 1, Rack: 0, Severity: 1}, false},
 		{"brownout ok", Event{Class: Brownout, At: 1, Duration: 1, Src: 0, Dst: 3}, true},
 		{"brownout self-loop", Event{Class: Brownout, At: 1, Duration: 1, Src: 2, Dst: 2}, false},
+		{"pdufail ok", Event{Class: PDUFail, At: 0, Duration: 1, PDU: 1}, true},
+		{"pdufail out of fleet", Event{Class: PDUFail, At: 0, Duration: 1, PDU: 2}, false},
+		{"cracfail ok", Event{Class: CRACFail, At: 0, Duration: 1, Row: 1}, true},
+		{"cracfail out of fleet", Event{Class: CRACFail, At: 0, Duration: 1, Row: 2}, false},
+		{"hostkill ok", Event{Class: HostKill, At: 0, Duration: 1, Rack: 2, Host: 2}, true},
+		{"hostkill of orchestrator home", Event{Class: HostKill, At: 0, Duration: 1, Rack: 2, Host: 0}, false},
+		{"hostkill out of rack", Event{Class: HostKill, At: 0, Duration: 1, Rack: 2, Host: 3}, false},
 		{"unknown class", Event{Class: Class(99), At: 0, Duration: 1}, false},
 	} {
-		err := tc.ev.Validate(racks, rows)
+		err := tc.ev.Validate(fleet)
 		if tc.ok && err != nil {
 			t.Errorf("%s: unexpected error %v", tc.name, err)
 		}
@@ -113,8 +120,25 @@ func TestScheduleValidateRejectsOutOfFleet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Validate(4, 2); !errors.Is(err, ErrInvalid) {
+	if err := s.Validate(Fleet{Racks: 4, Rows: 2}); !errors.Is(err, ErrInvalid) {
 		t.Fatalf("Validate = %v, want ErrInvalid", err)
+	}
+	// Each scope fails fast with a typed error naming the bad domain.
+	for _, ev := range []Event{
+		{Class: RackKill, At: 0, Duration: 1, Rack: 9},
+		{Class: RowKill, At: 0, Duration: 1, Row: 9},
+		{Class: PDUFail, At: 0, Duration: 1, PDU: 9},
+		{Class: CRACFail, At: 0, Duration: 1, Row: 9},
+		{Class: HostKill, At: 0, Duration: 1, Rack: 9, Host: 1},
+	} {
+		sc, err := Scripted(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet := Fleet{Racks: 4, Rows: 2, PDUs: 2, HostsPerRack: func(int) int { return 3 }}
+		if err := sc.Validate(fleet); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("%v schedule accepted against small fleet (err=%v)", ev.Class, err)
+		}
 	}
 }
 
@@ -137,7 +161,7 @@ func TestRandomDeterministicAndInRate(t *testing.T) {
 			t.Fatalf("same seed diverges at event %d: %v vs %v", i, ae[i], be[i])
 		}
 	}
-	if err := a.Validate(cfg.Racks, cfg.Rows); err != nil {
+	if err := a.Validate(Fleet{Racks: cfg.Racks, Rows: cfg.Rows}); err != nil {
 		t.Fatalf("random schedule invalid for its own fleet: %v", err)
 	}
 	// Expected strikes = Epochs * Rate = 100; a 4-sigma band is ~±28.
@@ -186,7 +210,7 @@ func TestBernoulliStationaryFraction(t *testing.T) {
 		}
 	}
 	rowOf := func(int) int { return 0 }
-	frac := s.KillFraction(epochs, racks, rowOf)
+	frac := s.KillFraction(epochs, racks, rowOf, nil)
 	// 3200 coins at p=0.1: sample fraction within ±0.02 of p at ~4 sigma.
 	if frac < p-0.02 || frac > p+0.02 {
 		t.Errorf("kill fraction %.4f far from p=%.2f", frac, p)
@@ -213,13 +237,36 @@ func TestKillFractionCountsRowsAndOverlap(t *testing.T) {
 	}
 	rowOf := func(r int) int { return r / 2 }
 	// 4 epochs x 4 racks = 16 rack-epochs; dead: (e0,r0)(e0,r1)(e1,r0)(e1,r1)(e2,r0) = 5.
-	got := s.KillFraction(4, 4, rowOf)
+	got := s.KillFraction(4, 4, rowOf, nil)
 	if want := 5.0 / 16.0; got != want {
 		t.Errorf("KillFraction = %.4f, want %.4f", got, want)
 	}
 	// Kills past the horizon are clipped.
-	if got := s.KillFraction(1, 4, rowOf); got != 2.0/4.0 {
+	if got := s.KillFraction(1, 4, rowOf, nil); got != 2.0/4.0 {
 		t.Errorf("clipped KillFraction = %.4f, want 0.5", got)
+	}
+}
+
+// A pdufail covers exactly its member racks for its duration; hostkill
+// and cracfail never count as dead rack-epochs.
+func TestKillFractionCorrelatedDomains(t *testing.T) {
+	s, err := Scripted(
+		Event{Class: PDUFail, At: 0, Duration: 2, PDU: 0},            // racks 0,1 for e0,e1
+		Event{Class: HostKill, At: 0, Duration: 4, Rack: 3, Host: 1}, // degraded, not dead
+		Event{Class: CRACFail, At: 0, Duration: 4, Row: 1},           // degraded, not dead
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowOf := func(r int) int { return r / 2 }
+	pduOf := func(r int) int { return r / 2 }
+	got := s.KillFraction(4, 4, rowOf, pduOf)
+	if want := 4.0 / 16.0; got != want {
+		t.Errorf("KillFraction = %.4f, want %.4f", got, want)
+	}
+	// Without a PDU mapping the pdufail contributes nothing.
+	if got := s.KillFraction(4, 4, rowOf, nil); got != 0 {
+		t.Errorf("KillFraction without pduOf = %.4f, want 0", got)
 	}
 }
 
@@ -240,5 +287,46 @@ func TestMTTRAccounting(t *testing.T) {
 	}
 	if m.Total() != 3 {
 		t.Errorf("Total = %d, want 3", m.Total())
+	}
+	// Crew-queue waits are tracked separately from repair times.
+	m.RecordWait(RackKill, 0)
+	m.RecordWait(RackKill, 4)
+	m.RecordWait(Class(99), 7) // out of range: ignored
+	if m.WaitCount(RackKill) != 2 || m.WaitCount(Brownout) != 0 {
+		t.Fatalf("wait counts wrong: %d/%d", m.WaitCount(RackKill), m.WaitCount(Brownout))
+	}
+	if got := m.MeanWaitEpochs(RackKill); got != 2 {
+		t.Errorf("MeanWaitEpochs = %g, want 2", got)
+	}
+	if m.TotalWaitEpochs() != 4 {
+		t.Errorf("TotalWaitEpochs = %d, want 4", m.TotalWaitEpochs())
+	}
+}
+
+func TestClassCrewMetadata(t *testing.T) {
+	for _, c := range []Class{RackKill, RowKill, PDUFail} {
+		if !c.Kills() || c.RepairPriority() != 0 {
+			t.Errorf("%v: Kills=%v priority=%d, want kill at priority 0", c, c.Kills(), c.RepairPriority())
+		}
+	}
+	for _, c := range []Class{SlowCXL, Brownout, CRACFail, HostKill} {
+		if c.Kills() || c.RepairPriority() != 1 {
+			t.Errorf("%v: Kills=%v priority=%d, want degraded at priority 1", c, c.Kills(), c.RepairPriority())
+		}
+	}
+	if FlapNIC.Kills() || FlapNIC.RepairPriority() != 2 {
+		t.Errorf("flapnic priority = %d, want 2", FlapNIC.RepairPriority())
+	}
+	if (Event{Class: CRACFail}).Scale() != DefaultCRACScale {
+		t.Errorf("cracfail default scale = %g, want %g", (Event{Class: CRACFail}).Scale(), DefaultCRACScale)
+	}
+	if got := (Event{Class: PDUFail, PDU: 2}).Target(); got != "pdu2" {
+		t.Errorf("pdufail Target = %q", got)
+	}
+	if got := (Event{Class: CRACFail, Row: 1}).Target(); got != "crac1" {
+		t.Errorf("cracfail Target = %q", got)
+	}
+	if got := (Event{Class: HostKill, Rack: 3, Host: 2}).Target(); got != "rack3/host2" {
+		t.Errorf("hostkill Target = %q", got)
 	}
 }

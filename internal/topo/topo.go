@@ -40,6 +40,9 @@ const (
 	DefaultNICsPerHost  = 1
 	DefaultNICGbps      = 100
 	DefaultDeviceMiB    = 128
+	// DefaultPDUSpan is how many adjacent racks share one power
+	// distribution unit (a PDU never spans rows).
+	DefaultPDUSpan = 2
 )
 
 // ErrInvalid wraps every construction-time validation failure.
@@ -250,11 +253,45 @@ func (l Links) hostUplink(spec RackSpec) Link {
 }
 
 // Topology is an immutable fleet description: the domain tree plus
-// index-order access to rows and racks.
+// index-order access to rows and racks, and the power/cooling
+// failure-domain overlay mapped onto that tree: PDUs group adjacent
+// racks within a row, CRACs map one-to-one onto rows.
 type Topology struct {
 	root  *Domain
 	rows  []*Domain
 	racks []*Domain
+
+	// Power/cooling overlay: pdus[i] lists the rack indexes sharing
+	// PDU i; pduOf inverts the mapping. Built for DefaultPDUSpan at
+	// construction; WithPDUSpan rebuilds the overlay.
+	pduSpan int
+	pdus    [][]int
+	pduOf   []int
+}
+
+// buildPDUs groups racks into power domains: span adjacent racks per
+// PDU, chunked within each row so a PDU never crosses a row boundary
+// (it hangs off that row's power bus). The last PDU of a row may hold
+// fewer racks.
+func (t *Topology) buildPDUs(span int) {
+	t.pduSpan = span
+	t.pdus = nil
+	t.pduOf = make([]int, len(t.racks))
+	for ri := range t.rows {
+		n := 0
+		for i := range t.racks {
+			if t.RowOf(i) != ri {
+				continue
+			}
+			if n%span == 0 {
+				t.pdus = append(t.pdus, nil)
+			}
+			p := len(t.pdus) - 1
+			t.pdus[p] = append(t.pdus[p], i)
+			t.pduOf[i] = p
+			n++
+		}
+	}
 }
 
 // New builds and validates a topology from per-row rack specs (row
@@ -306,6 +343,7 @@ func NewWithLinks(rowSpecs [][]RackSpec, links Links) (*Topology, error) {
 			}
 		}
 	}
+	t.buildPDUs(DefaultPDUSpan)
 	return t, nil
 }
 
@@ -431,6 +469,51 @@ func (t *Topology) Rack(i int) *Domain { return t.racks[i] }
 
 // RowOf returns the row index housing rack i.
 func (t *Topology) RowOf(i int) int { return t.racks[i].parent.rowIdx }
+
+// WithPDUSpan returns a topology sharing this one's (immutable) domain
+// tree but regrouping the power overlay to span adjacent racks per
+// PDU. Span 1 gives every rack its own PDU (power faults degenerate to
+// rack faults); spans beyond a row's width put the whole row on one
+// PDU.
+func (t *Topology) WithPDUSpan(span int) (*Topology, error) {
+	if span < 1 {
+		return nil, fmt.Errorf("%w: PDU span %d < 1", ErrInvalid, span)
+	}
+	out := &Topology{root: t.root, rows: t.rows, racks: t.racks}
+	out.buildPDUs(span)
+	return out, nil
+}
+
+// PDUSpan returns the configured racks-per-PDU grouping.
+func (t *Topology) PDUSpan() int { return t.pduSpan }
+
+// PDUCount returns how many power domains the fleet has.
+func (t *Topology) PDUCount() int { return len(t.pdus) }
+
+// PDURacks returns the rack indexes sharing PDU p, index order.
+func (t *Topology) PDURacks(p int) []int {
+	out := make([]int, len(t.pdus[p]))
+	copy(out, t.pdus[p])
+	return out
+}
+
+// PDUOf returns the power domain housing rack i.
+func (t *Topology) PDUOf(i int) int { return t.pduOf[i] }
+
+// CRACCount returns how many cooling domains the fleet has. A CRAC
+// serves exactly one row, so cooling domains map one-to-one onto rows.
+func (t *Topology) CRACCount() int { return len(t.rows) }
+
+// CRACRacks returns the rack indexes cooled by CRAC c (= row c).
+func (t *Topology) CRACRacks(c int) []int {
+	var out []int
+	for i := range t.racks {
+		if t.RowOf(i) == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
 
 // SameRow reports whether racks i and j share a row.
 func (t *Topology) SameRow(i, j int) bool { return t.racks[i].parent == t.racks[j].parent }

@@ -173,3 +173,80 @@ func TestRackSpecDefaults(t *testing.T) {
 		t.Fatalf("derived: devices=%d capacity=%g rate=%v", s.Devices(), s.CapacityGbps(), s.NICRate())
 	}
 }
+
+// The power/cooling overlay: PDUs chunk adjacent racks within a row
+// (never across rows), CRACs map one-to-one onto rows, and WithPDUSpan
+// regroups without touching the tree.
+func TestPowerCoolingDomains(t *testing.T) {
+	// 5 racks in 2 rows (3+2) at the default span of 2: row0 gives
+	// PDUs {0,1},{2}; row1 gives {3,4}.
+	tp, err := Preset(5, 2, "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.PDUSpan() != DefaultPDUSpan {
+		t.Fatalf("PDUSpan = %d, want %d", tp.PDUSpan(), DefaultPDUSpan)
+	}
+	if tp.PDUCount() != 3 {
+		t.Fatalf("PDUCount = %d, want 3", tp.PDUCount())
+	}
+	wantPDUs := [][]int{{0, 1}, {2}, {3, 4}}
+	for p, want := range wantPDUs {
+		got := tp.PDURacks(p)
+		if len(got) != len(want) {
+			t.Fatalf("PDURacks(%d) = %v, want %v", p, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("PDURacks(%d) = %v, want %v", p, got, want)
+			}
+			if tp.PDUOf(want[i]) != p {
+				t.Fatalf("PDUOf(%d) = %d, want %d", want[i], tp.PDUOf(want[i]), p)
+			}
+		}
+	}
+	// A PDU never spans rows.
+	for p := 0; p < tp.PDUCount(); p++ {
+		racks := tp.PDURacks(p)
+		for _, r := range racks[1:] {
+			if tp.RowOf(r) != tp.RowOf(racks[0]) {
+				t.Fatalf("PDU %d spans rows: racks %v", p, racks)
+			}
+		}
+	}
+	// CRACs are rows.
+	if tp.CRACCount() != tp.RowCount() {
+		t.Fatalf("CRACCount = %d, want %d", tp.CRACCount(), tp.RowCount())
+	}
+	if got := tp.CRACRacks(1); len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("CRACRacks(1) = %v, want [3 4]", got)
+	}
+
+	// Regrouping: span 1 isolates every rack; a huge span puts each
+	// whole row on one PDU. The original topology is untouched.
+	one, err := tp.WithPDUSpan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.PDUCount() != 5 || one.PDUOf(4) != 4 {
+		t.Fatalf("span-1 overlay wrong: count=%d", one.PDUCount())
+	}
+	wide, err := tp.WithPDUSpan(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.PDUCount() != 2 {
+		t.Fatalf("span-64 PDUCount = %d, want one per row", wide.PDUCount())
+	}
+	if tp.PDUCount() != 3 {
+		t.Fatal("WithPDUSpan mutated the receiver")
+	}
+	if _, err := tp.WithPDUSpan(0); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("WithPDUSpan(0) = %v, want ErrInvalid", err)
+	}
+	// The tree is shared, not rebuilt.
+	if one.Rack(0) != tp.Rack(0) || one.Root() != tp.Root() {
+		t.Fatal("WithPDUSpan rebuilt the domain tree")
+	}
+	_ = sim.Duration(0)
+}
