@@ -1,0 +1,149 @@
+// Command poollint is the repository's static-analysis gate: a
+// multichecker that runs the internal/lint analyzer suite (mapiter,
+// wallclock, bufown, simhandle) over Go packages and exits nonzero on
+// findings. It enforces, at vet time, the contracts the test suite can
+// only catch after the fact: deterministic iteration in the packages
+// that feed reports, no wall-clock time or global randomness inside the
+// simulated world, bufpool Get/Put ownership pairing, and sim event
+// handle validity after Cancel.
+//
+// Usage:
+//
+//	poollint [-list] [packages...]
+//
+// Package patterns are resolved by `go list`; the default is ./....
+// Findings print as file:line:col: [analyzer] message. Exit status is 0
+// for a clean tree, 1 when findings exist, and 2 on usage or load
+// errors. Deliberate exceptions are annotated in source with
+// //lint:ordered <reason> (mapiter) or //lint:allow <analyzer> <reason>;
+// an annotation without a reason is itself a finding.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"cxlpool/internal/lint"
+)
+
+// listPackage is the subset of `go list -json` output the driver needs.
+type listPackage struct {
+	Dir            string
+	ImportPath     string
+	GoFiles        []string
+	TestGoFiles    []string
+	XTestGoFiles   []string
+	IgnoredGoFiles []string
+}
+
+func main() {
+	listOnly := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: poollint [-list] [packages...]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *listOnly {
+		for _, a := range lint.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := goList(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "poollint: %v\n", err)
+		os.Exit(2)
+	}
+
+	loader := lint.NewLoader()
+	analyzers := lint.All()
+	findings := 0
+	loadErrs := 0
+	cwd, _ := os.Getwd()
+	for _, lp := range pkgs {
+		// Unit 1: the package plus its in-package tests; unit 2: the
+		// external test package. Both are load-bearing — the PR 1/PR 3
+		// bug class lives in product code, but test files hold golden
+		// assertions whose own determinism matters just as much.
+		units := []struct {
+			path  string
+			files []string
+		}{
+			{lp.ImportPath, join(lp.Dir, lp.GoFiles, lp.TestGoFiles)},
+			{lp.ImportPath + "_test", join(lp.Dir, lp.XTestGoFiles)},
+		}
+		for _, u := range units {
+			if len(u.files) == 0 {
+				continue
+			}
+			pkg, err := loader.LoadFiles(u.path, u.files)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "poollint: %v\n", err)
+				loadErrs++
+				continue
+			}
+			for _, d := range lint.Check(pkg, analyzers) {
+				pos := pkg.Fset.Position(d.Pos)
+				name := pos.Filename
+				if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+					name = rel
+				}
+				fmt.Printf("%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+				findings++
+			}
+		}
+	}
+	switch {
+	case loadErrs > 0:
+		os.Exit(2)
+	case findings > 0:
+		fmt.Fprintf(os.Stderr, "poollint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// goList expands package patterns through the go tool.
+func goList(patterns []string) ([]listPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	out, err := exec.Command("go", args...).Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return nil, fmt.Errorf("go list: %s", strings.TrimSpace(string(ee.Stderr)))
+		}
+		return nil, err
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for dec.More() {
+		var lp listPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+func join(dir string, lists ...[]string) []string {
+	var out []string
+	for _, l := range lists {
+		for _, f := range l {
+			out = append(out, filepath.Join(dir, f))
+		}
+	}
+	return out
+}

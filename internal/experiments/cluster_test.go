@@ -15,9 +15,12 @@ func runCluster(t *testing.T, seed int64, racks, workers int) string {
 		t.Fatal("cluster not registered")
 	}
 	p := s.NewParams()
-	for name, v := range map[string]int{"racks": racks, "workers": workers} {
-		if err := p.Set(name, strconv.Itoa(v)); err != nil {
-			t.Fatalf("set %s: %v", name, err)
+	for _, kv := range []struct {
+		name string
+		v    int
+	}{{"racks", racks}, {"workers", workers}} {
+		if err := p.Set(kv.name, strconv.Itoa(kv.v)); err != nil {
+			t.Fatalf("set %s: %v", kv.name, err)
 		}
 	}
 	if err := p.Set("seed", strconv.FormatInt(seed, 10)); err != nil {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -23,9 +24,14 @@ func runFailuresParams(t *testing.T, seed int64, overrides map[string]string) *r
 	if err := p.Set("seed", strconv.FormatInt(seed, 10)); err != nil {
 		t.Fatal(err)
 	}
-	for name, v := range overrides {
-		if err := p.Set(name, v); err != nil {
-			t.Fatalf("set %s=%s: %v", name, v, err)
+	names := make([]string, 0, len(overrides))
+	for name := range overrides {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := p.Set(name, overrides[name]); err != nil {
+			t.Fatalf("set %s=%s: %v", name, overrides[name], err)
 		}
 	}
 	rep, err := s.Run(context.Background(), p)

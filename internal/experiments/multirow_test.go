@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -15,9 +16,14 @@ func runMultirowParams(t *testing.T, overrides map[string]string) string {
 		t.Fatal("multirow not registered")
 	}
 	p := s.NewParams()
-	for name, v := range overrides {
-		if err := p.Set(name, v); err != nil {
-			t.Fatalf("set %s=%s: %v", name, v, err)
+	names := make([]string, 0, len(overrides))
+	for name := range overrides {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := p.Set(name, overrides[name]); err != nil {
+			t.Fatalf("set %s=%s: %v", name, overrides[name], err)
 		}
 	}
 	rep, err := s.Run(context.Background(), p)

@@ -62,12 +62,16 @@ func TestSweepWorkerDeterminism(t *testing.T) {
 
 func TestSweepValidatesBeforeRunning(t *testing.T) {
 	s, _ := Lookup("figure2")
-	for name, axes := range map[string][]Axis{
-		"non-numeric value": figure2Axes("100", "nope"),
-		"unknown axis":      {{Name: "bogus", Values: []string{"1"}}},
-		"empty axis list":   nil,
-		"duplicate axis":    {{Name: "hosts", Values: []string{"100"}}, {Name: "hosts", Values: []string{"200"}}},
+	for _, tc := range []struct {
+		name string
+		axes []Axis
+	}{
+		{"non-numeric value", figure2Axes("100", "nope")},
+		{"unknown axis", []Axis{{Name: "bogus", Values: []string{"1"}}}},
+		{"empty axis list", nil},
+		{"duplicate axis", []Axis{{Name: "hosts", Values: []string{"100"}}, {Name: "hosts", Values: []string{"200"}}}},
 	} {
+		name, axes := tc.name, tc.axes
 		_, err := Sweep(context.Background(), s, s.NewParams(), axes, 1)
 		if err == nil {
 			t.Fatalf("%s accepted", name)

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file is the fixture-test harness: a stdlib re-implementation of
+// the golang.org/x/tools analysistest want-comment protocol. Fixture
+// packages live under testdata/src/<importpath>; every line that should
+// produce a finding carries a trailing comment of the form
+//
+//	// want "regexp" ["regexp" ...]
+//
+// and the harness fails on findings without a matching want, and wants
+// without a matching finding, exactly like the original.
+
+// wantComment is one expectation: a finding on this file:line whose
+// message matches re.
+type wantComment struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts want expectations from a fixture package's
+// sources.
+func parseWants(pkg *Package) ([]*wantComment, error) {
+	var wants []*wantComment
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					if rest[0] != '"' {
+						return nil, fmt.Errorf("%s:%d: malformed want comment: %q", pos.Filename, pos.Line, c.Text)
+					}
+					lit, tail, err := cutQuoted(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &wantComment{file: pos.Filename, line: pos.Line, re: re})
+					rest = strings.TrimSpace(tail)
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// cutQuoted splits a leading Go-quoted string off rest.
+func cutQuoted(rest string) (lit, tail string, err error) {
+	for i := 1; i < len(rest); i++ {
+		if rest[i] == '\\' {
+			i++
+			continue
+		}
+		if rest[i] == '"' {
+			lit, err := strconv.Unquote(rest[:i+1])
+			return lit, rest[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated want pattern: %q", rest)
+}
+
+// RunFixture loads testdata/src/<path> relative to root, runs the
+// analyzers through the suppression-aware Check, and diff-checks the
+// findings against the fixture's want comments. Errors are reported
+// through report (a testing.T.Errorf in practice).
+func RunFixture(root, path string, analyzers []*Analyzer, report func(format string, args ...any)) {
+	pkg, err := LoadFixture(root, path)
+	if err != nil {
+		report("loading fixture %s: %v", path, err)
+		return
+	}
+	wants, err := parseWants(pkg)
+	if err != nil {
+		report("fixture %s: %v", path, err)
+		return
+	}
+	diags := Check(pkg, analyzers)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			report("%s:%d: unexpected finding [%s]: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			report("%s:%d: no finding matched want %q", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,672 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BufOwn enforces the bufpool ownership contract intra-procedurally:
+// Get hands the caller exclusive ownership; the buffer is valid until
+// Put, after which any retained reference may observe unrelated later
+// traffic. The analyzer tracks each local variable bound to a
+// Pool.Get result through the function's control flow and reports:
+//
+//   - use after Put: the buffer (or an alias) is read, written, passed,
+//     stored to a field, returned, or captured by a closure after a Put
+//     on some path — the README's "retained reference" bug, statically;
+//   - double Put: the same buffer released twice (corrupts the free
+//     list: two future Gets will alias one array);
+//   - leaks: a path that returns (the classic `if err != nil { return
+//     err }` early exit) or falls off the function end while a gotten
+//     buffer is neither Put, deferred-Put, nor transferred away.
+//
+// Ownership transfer ends tracking without a report: returning a live
+// buffer, storing it somewhere, or passing it to another function (or
+// capturing it in a closure) hands the Put obligation to the receiver —
+// inter-procedural obligations are out of scope for an intra-procedural
+// check. Builtins that only borrow (len, cap, copy) and nil comparisons
+// do not transfer. A `defer pool.Put(b)` (directly or inside a deferred
+// closure) releases the buffer at exit and keeps every in-body use
+// legal.
+var BufOwn = &Analyzer{
+	Name: "bufown",
+	Doc:  "enforces the bufpool Get/Put ownership contract within each function",
+	Run:  runBufOwn,
+}
+
+type ownState int
+
+const (
+	ownLive     ownState = iota // gotten; must be Put or transferred
+	ownDeferred                 // a deferred Put releases it at exit
+	ownReleased                 // Put has run; uses are invalid
+)
+
+type ownInfo struct {
+	state ownState
+	get   token.Pos
+	put   token.Pos
+}
+
+type ownEnv map[*types.Var]*ownInfo
+
+func (e ownEnv) clone() ownEnv {
+	c := make(ownEnv, len(e))
+	for k, v := range e {
+		cp := *v
+		c[k] = &cp
+	}
+	return c
+}
+
+func runBufOwn(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					w := &bufWalker{pass: pass}
+					w.walkFunc(fn.Body)
+				}
+			case *ast.FuncLit:
+				// Closure bodies are analyzed as functions of their own;
+				// the enclosing walk treats the literal as opaque.
+				w := &bufWalker{pass: pass}
+				w.walkFunc(fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+type bufWalker struct {
+	pass *Pass
+}
+
+func (w *bufWalker) line(p token.Pos) int { return w.pass.Fset.Position(p).Line }
+
+// isPoolCall reports whether call invokes bufpool's Pool.Get or
+// Pool.Put (matched by method name, receiver, and package path tail so
+// fixtures can model the contract package).
+func (w *bufWalker) isPoolCall(call *ast.CallExpr, name string) bool {
+	fn := calleeFunc(w.pass.Info, call)
+	if fn == nil || fn.Name() != name || !pkgPathTail(fn.Pkg(), "bufpool") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// rootVar resolves an expression to the tracked variable it aliases
+// through parens and slicing (Put(b[:0]) releases b's buffer).
+func (w *bufWalker) rootVar(e ast.Expr) *types.Var {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		default:
+			if v := localVar(w.pass.Info, e); v != nil {
+				return v
+			}
+			return nil
+		}
+	}
+}
+
+func (w *bufWalker) walkFunc(body *ast.BlockStmt) {
+	env := make(ownEnv)
+	w.walkBlock(body, env)
+}
+
+// walkBlock walks a block's statements and, if control falls off its
+// end, reports buffers declared inside it that are still live (their
+// variable is about to go out of scope with no Put on record).
+func (w *bufWalker) walkBlock(b *ast.BlockStmt, env ownEnv) bool {
+	term := w.walkStmts(b.List, env)
+	if !term {
+		for v, info := range env {
+			if v.Pos() >= b.Pos() && v.Pos() <= b.End() {
+				if info.state == ownLive {
+					w.pass.Reportf(info.get, "buffer from Get is never Put (variable %s goes out of scope)", v.Name())
+				}
+				delete(env, v)
+			}
+		}
+	}
+	return term
+}
+
+func (w *bufWalker) walkStmts(list []ast.Stmt, env ownEnv) bool {
+	for _, s := range list {
+		if w.walkStmt(s, env) {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeBranches folds branch outcomes back into env. Only branches that
+// fall through participate; for each tracked variable, a release or an
+// escape in any surviving branch wins (conservative for use-after-put,
+// silent for leak tracking).
+func mergeBranches(env ownEnv, branches []ownEnv, terms []bool) bool {
+	var live []ownEnv
+	for i, b := range branches {
+		if !terms[i] {
+			live = append(live, b)
+		}
+	}
+	if len(live) == 0 {
+		return true // every branch terminated
+	}
+	for v := range env {
+		escaped, released, deferred := false, false, false
+		var putPos token.Pos
+		for _, b := range live {
+			info, ok := b[v]
+			if !ok {
+				escaped = true
+				continue
+			}
+			switch info.state {
+			case ownReleased:
+				released = true
+				putPos = info.put
+			case ownDeferred:
+				deferred = true
+			}
+		}
+		switch {
+		case released:
+			env[v].state = ownReleased
+			env[v].put = putPos
+		case escaped:
+			delete(env, v)
+		case deferred:
+			env[v].state = ownDeferred
+		}
+	}
+	return false
+}
+
+func (w *bufWalker) walkStmt(s ast.Stmt, env ownEnv) bool {
+	switch st := s.(type) {
+	case nil:
+		return false
+	case *ast.AssignStmt:
+		w.walkAssign(st, env)
+		return false
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, val := range vs.Values {
+					if call, ok := ast.Unparen(val).(*ast.CallExpr); ok && w.isPoolCall(call, "Get") && i < len(vs.Names) {
+						if v, ok := w.pass.Info.Defs[vs.Names[i]].(*types.Var); ok {
+							env[v] = &ownInfo{state: ownLive, get: call.Pos()}
+							continue
+						}
+					}
+					w.uses(val, env)
+				}
+			}
+		}
+		return false
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+			if w.handleCallStmt(call, env) {
+				return true
+			}
+			return false
+		}
+		w.uses(st.X, env)
+		return false
+	case *ast.DeferStmt:
+		w.walkDefer(st.Call, env)
+		return false
+	case *ast.GoStmt:
+		w.uses(st.Call, env)
+		return false
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.uses(r, env)
+		}
+		for _, info := range env {
+			if info.state == ownLive {
+				w.pass.Reportf(st.Pos(), "return leaks buffer from Get at line %d (no Put on this path)", w.line(info.get))
+			}
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, env)
+		}
+		w.uses(st.Cond, env)
+		bodyEnv := env.clone()
+		bodyTerm := w.walkBlock(st.Body, bodyEnv)
+		elseEnv := env.clone()
+		elseTerm := false
+		if st.Else != nil {
+			elseTerm = w.walkStmt(st.Else, elseEnv)
+		}
+		return mergeBranches(env, []ownEnv{bodyEnv, elseEnv}, []bool{bodyTerm, elseTerm})
+	case *ast.BlockStmt:
+		return w.walkBlock(st, env)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, env)
+		}
+		if st.Cond != nil {
+			w.uses(st.Cond, env)
+		}
+		bodyEnv := env.clone()
+		if st.Post != nil {
+			w.walkStmt(st.Post, bodyEnv)
+		}
+		w.walkBlock(st.Body, bodyEnv)
+		// The loop may run zero times: merge as optional branch.
+		mergeBranches(env, []ownEnv{bodyEnv, env.clone()}, []bool{false, false})
+		return false
+	case *ast.RangeStmt:
+		w.uses(st.X, env)
+		bodyEnv := env.clone()
+		w.walkBlock(st.Body, bodyEnv)
+		mergeBranches(env, []ownEnv{bodyEnv, env.clone()}, []bool{false, false})
+		return false
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, env)
+		}
+		if st.Tag != nil {
+			w.uses(st.Tag, env)
+		}
+		return w.walkClauses(st.Body, env, hasDefaultClause(st.Body))
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, env)
+		}
+		return w.walkClauses(st.Body, env, hasDefaultClause(st.Body))
+	case *ast.SelectStmt:
+		return w.walkClauses(st.Body, env, false)
+	case *ast.LabeledStmt:
+		return w.walkStmt(st.Stmt, env)
+	case *ast.SendStmt:
+		w.uses(st.Chan, env)
+		w.uses(st.Value, env)
+		return false
+	case *ast.IncDecStmt:
+		w.uses(st.X, env)
+		return false
+	default:
+		return false
+	}
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// walkClauses handles switch/select bodies: each clause is a branch;
+// without a default the no-clause path also falls through.
+func (w *bufWalker) walkClauses(body *ast.BlockStmt, env ownEnv, exhaustive bool) bool {
+	var branches []ownEnv
+	var terms []bool
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch cl := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				w.uses(e, env)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				w.walkStmt(cl.Comm, env)
+			}
+			stmts = cl.Body
+		}
+		be := env.clone()
+		terms = append(terms, w.walkStmts(stmts, be))
+		branches = append(branches, be)
+	}
+	if !exhaustive {
+		branches = append(branches, env.clone())
+		terms = append(terms, false)
+	}
+	return mergeBranches(env, branches, terms)
+}
+
+// walkAssign handles tracking starts (b := pool.Get(n)), revivals,
+// resizes (b = b[:n]), and retirements.
+func (w *bufWalker) walkAssign(st *ast.AssignStmt, env ownEnv) {
+	paired := len(st.Lhs) == len(st.Rhs)
+	for i, rhs := range st.Rhs {
+		call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+		if paired && isCall && w.isPoolCall(call, "Get") {
+			for _, arg := range call.Args {
+				w.uses(arg, env)
+			}
+			if v := localVar(w.pass.Info, st.Lhs[i]); v != nil {
+				if old, ok := env[v]; ok && old.state == ownLive {
+					w.pass.Reportf(st.Pos(), "Get overwrites buffer from Get at line %d before Put", w.line(old.get))
+				}
+				env[v] = &ownInfo{state: ownLive, get: call.Pos()}
+				continue
+			}
+			// Get stored into a field/index: caller retains it there;
+			// ownership leaves this function's view.
+			w.usesTarget(st.Lhs[i], env)
+			continue
+		}
+		// b = b[:n] keeps ownership of the same backing array.
+		if paired {
+			if v := localVar(w.pass.Info, st.Lhs[i]); v != nil {
+				if _, tracked := env[v]; tracked && w.rootVar(rhs) == v {
+					continue
+				}
+			}
+		}
+		w.uses(rhs, env)
+	}
+	for i, lhs := range st.Lhs {
+		if paired {
+			if call, ok := ast.Unparen(st.Rhs[i]).(*ast.CallExpr); ok && w.isPoolCall(call, "Get") {
+				continue // handled above
+			}
+			if v := localVar(w.pass.Info, lhs); v != nil {
+				if _, tracked := env[v]; tracked && w.rootVar(st.Rhs[i]) == v {
+					continue // self-resize
+				}
+			}
+		}
+		if v := localVar(w.pass.Info, lhs); v != nil {
+			if info, ok := env[v]; ok {
+				if info.state == ownLive {
+					w.pass.Reportf(st.Pos(), "buffer from Get at line %d reassigned before Put (reference lost)", w.line(info.get))
+				}
+				delete(env, v)
+			}
+			continue
+		}
+		w.usesTarget(lhs, env)
+	}
+}
+
+// usesTarget scans a non-variable assignment target (x.f = ..., m[k] =
+// ...) for reads of tracked buffers in its index expressions.
+func (w *bufWalker) usesTarget(e ast.Expr, env ownEnv) {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.IndexExpr:
+		w.uses(t.Index, env)
+		w.usesTarget(t.X, env)
+	case *ast.SelectorExpr:
+		w.usesTarget(t.X, env)
+	case *ast.StarExpr:
+		w.uses(t.X, env)
+	case *ast.Ident:
+		// Writing b[i] = x or through a field of a struct: the base
+		// itself is not retained by being a target, but writing into a
+		// released buffer is a use-after-put.
+		if v := localVar(w.pass.Info, t); v != nil {
+			if info, ok := env[v]; ok && info.state == ownReleased {
+				w.reportUseAfterPut(t.Pos(), info)
+			}
+		}
+	}
+}
+
+// handleCallStmt processes a statement-level call; returns true if the
+// call terminates the path (panic, testing Fatal/Skip).
+func (w *bufWalker) handleCallStmt(call *ast.CallExpr, env ownEnv) bool {
+	if w.isPoolCall(call, "Put") && len(call.Args) == 1 {
+		if v := w.rootVar(call.Args[0]); v != nil {
+			if info, ok := env[v]; ok {
+				switch info.state {
+				case ownLive:
+					info.state = ownReleased
+					info.put = call.Pos()
+				case ownDeferred:
+					w.pass.Reportf(call.Pos(), "buffer already released by deferred Put (double Put)")
+				case ownReleased:
+					w.pass.Reportf(call.Pos(), "buffer already Put at line %d (double Put corrupts the free list)", w.line(info.put))
+				}
+				return false
+			}
+		}
+		w.uses(call.Args[0], env)
+		return false
+	}
+	if w.isPoolCall(call, "Get") {
+		for _, arg := range call.Args {
+			w.uses(arg, env)
+		}
+		w.pass.Reportf(call.Pos(), "result of Get discarded: the buffer can never be Put (leak)")
+		return false
+	}
+	w.uses(call, env)
+	return isTerminalCall(w.pass.Info, call)
+}
+
+// isTerminalCall reports whether the call never returns: panic, or a
+// testing.T/B/F Fatal*/Skip* method.
+func isTerminalCall(info *types.Info, call *ast.CallExpr) bool {
+	if builtinName(info, call) == "panic" {
+		return true
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "os" && fn.Name() == "Exit" {
+		return true
+	}
+	if fn.Pkg().Path() == "testing" &&
+		(strings.HasPrefix(fn.Name(), "Fatal") || strings.HasPrefix(fn.Name(), "Skip")) {
+		return true
+	}
+	return false
+}
+
+// walkDefer marks deferred Puts (directly or inside a deferred closure).
+func (w *bufWalker) walkDefer(call *ast.CallExpr, env ownEnv) {
+	if w.isPoolCall(call, "Put") && len(call.Args) == 1 {
+		if v := w.rootVar(call.Args[0]); v != nil {
+			if info, ok := env[v]; ok {
+				switch info.state {
+				case ownLive:
+					info.state = ownDeferred
+				case ownDeferred:
+					w.pass.Reportf(call.Pos(), "buffer already released by deferred Put (double Put)")
+				case ownReleased:
+					w.pass.Reportf(call.Pos(), "buffer already Put at line %d (deferred double Put)", w.line(info.put))
+				}
+				return
+			}
+		}
+		return
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		// defer func() { ...; pool.Put(b); ... }()
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok && w.isPoolCall(c, "Put") && len(c.Args) == 1 {
+				if v := w.rootVar(c.Args[0]); v != nil {
+					if info, ok := env[v]; ok && info.state == ownLive {
+						info.state = ownDeferred
+					}
+				}
+			}
+			return true
+		})
+		return
+	}
+	w.uses(call, env)
+}
+
+func (w *bufWalker) reportUseAfterPut(pos token.Pos, info *ownInfo) {
+	w.pass.Reportf(pos, "use of buffer after Put at line %d (may alias unrelated later traffic)", w.line(info.put))
+}
+
+// uses scans an expression for touches of tracked buffers. A bare
+// occurrence of a live buffer in a retaining context (call argument,
+// composite literal, closure capture, address-of, store, return value)
+// transfers ownership and ends tracking; any occurrence of a released
+// buffer beyond len/cap and nil comparisons is a use-after-put.
+func (w *bufWalker) uses(e ast.Expr, env ownEnv) {
+	if e == nil {
+		return
+	}
+	switch t := e.(type) {
+	case *ast.Ident:
+		w.touch(t, env)
+	case *ast.ParenExpr:
+		w.uses(t.X, env)
+	case *ast.IndexExpr:
+		// Reading b[i] borrows; writing was handled by usesTarget.
+		w.baseRead(t.X, env)
+		w.uses(t.Index, env)
+	case *ast.SliceExpr:
+		// b[i:j] creates an alias: same as touching b.
+		if v := w.rootVar(t.X); v != nil {
+			w.touchVar(v, t.Pos(), env)
+		} else {
+			w.uses(t.X, env)
+		}
+		w.uses(t.Low, env)
+		w.uses(t.High, env)
+		w.uses(t.Max, env)
+	case *ast.BinaryExpr:
+		if isNilExpr(t.X) || isNilExpr(t.Y) {
+			// nil comparisons never retain the buffer.
+			return
+		}
+		w.uses(t.X, env)
+		w.uses(t.Y, env)
+	case *ast.CallExpr:
+		w.usesCall(t, env)
+	case *ast.FuncLit:
+		w.closureUses(t, env)
+	case *ast.UnaryExpr:
+		w.uses(t.X, env)
+	case *ast.StarExpr:
+		w.uses(t.X, env)
+	case *ast.SelectorExpr:
+		w.uses(t.X, env)
+	case *ast.CompositeLit:
+		for _, el := range t.Elts {
+			w.uses(el, env)
+		}
+	case *ast.KeyValueExpr:
+		w.uses(t.Key, env)
+		w.uses(t.Value, env)
+	case *ast.TypeAssertExpr:
+		w.uses(t.X, env)
+	}
+}
+
+func isNilExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// baseRead handles the base of an index expression: reading an element
+// of a released buffer is a use-after-put, but reading from a live one
+// neither reports nor transfers.
+func (w *bufWalker) baseRead(e ast.Expr, env ownEnv) {
+	if v := localVar(w.pass.Info, e); v != nil {
+		if info, ok := env[v]; ok && info.state == ownReleased {
+			w.reportUseAfterPut(e.Pos(), info)
+		}
+		return
+	}
+	w.uses(e, env)
+}
+
+// touch handles a bare identifier occurrence in a retaining context.
+func (w *bufWalker) touch(id *ast.Ident, env ownEnv) {
+	v := localVar(w.pass.Info, id)
+	if v == nil {
+		return
+	}
+	w.touchVar(v, id.Pos(), env)
+}
+
+func (w *bufWalker) touchVar(v *types.Var, pos token.Pos, env ownEnv) {
+	info, ok := env[v]
+	if !ok {
+		return
+	}
+	switch info.state {
+	case ownReleased:
+		w.reportUseAfterPut(pos, info)
+	case ownLive:
+		delete(env, v) // ownership transferred
+	}
+}
+
+// usesCall applies per-argument semantics: len/cap never touch the
+// contents, copy borrows without retaining, everything else is a full
+// touch for bare buffer arguments.
+func (w *bufWalker) usesCall(call *ast.CallExpr, env ownEnv) {
+	switch builtinName(w.pass.Info, call) {
+	case "len", "cap":
+		return
+	case "copy":
+		for _, arg := range call.Args {
+			if v := w.rootVar(arg); v != nil {
+				if info, ok := env[v]; ok && info.state == ownReleased {
+					w.reportUseAfterPut(arg.Pos(), info)
+				}
+				continue
+			}
+			w.uses(arg, env)
+		}
+		return
+	}
+	if fun, ok := call.Fun.(*ast.SelectorExpr); ok {
+		// The receiver of a method call is read, not retained by the
+		// call expression itself (pool.Put was handled earlier).
+		w.uses(fun.X, env)
+	}
+	for _, arg := range call.Args {
+		w.uses(arg, env)
+	}
+}
+
+// closureUses scans a function literal for captures of tracked buffers:
+// capturing a released buffer is a use-after-put; capturing a live one
+// transfers ownership to the closure.
+func (w *bufWalker) closureUses(lit *ast.FuncLit, env ownEnv) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v := localVar(w.pass.Info, id)
+		if v == nil || v.Pos() >= lit.Pos() {
+			return true // not a capture: defined inside the literal
+		}
+		if info, ok := env[v]; ok {
+			switch info.state {
+			case ownReleased:
+				w.pass.Reportf(id.Pos(), "closure captures buffer after Put at line %d", w.line(info.put))
+			case ownLive:
+				delete(env, v)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,102 @@
+package lint
+
+import "testing"
+
+// Each analyzer is pinned by an analysistest-style fixture: every line
+// that must produce a finding carries a `// want "regex"` comment, and
+// the harness fails on both unmatched findings and unmatched wants —
+// the failing-before/passing-after pairs live side by side in the
+// fixture sources.
+
+func TestMapIterFixture(t *testing.T) {
+	RunFixture("testdata", "orch", []*Analyzer{MapIter}, t.Errorf)
+}
+
+func TestMapIterIgnoresNonCriticalPackages(t *testing.T) {
+	RunFixture("testdata", "other", []*Analyzer{MapIter}, t.Errorf)
+}
+
+func TestWallClockFixture(t *testing.T) {
+	RunFixture("testdata", "internal/clockuse", []*Analyzer{WallClock}, t.Errorf)
+}
+
+func TestWallClockAllowsCmd(t *testing.T) {
+	RunFixture("testdata", "cmd/tool", []*Analyzer{WallClock}, t.Errorf)
+}
+
+func TestBufOwnFixture(t *testing.T) {
+	RunFixture("testdata", "bufuse", []*Analyzer{BufOwn}, t.Errorf)
+}
+
+func TestSimHandleFixture(t *testing.T) {
+	RunFixture("testdata", "simuse", []*Analyzer{SimHandle}, t.Errorf)
+}
+
+// The full suite over each fixture must yield exactly the findings the
+// per-analyzer runs assert: no analyzer fires outside its domain.
+func TestFullSuiteOnFixtures(t *testing.T) {
+	for _, path := range []string{"orch", "other", "internal/clockuse", "bufuse", "simuse"} {
+		RunFixture("testdata", path, All(), t.Errorf)
+	}
+}
+
+func TestAnalyzerNames(t *testing.T) {
+	want := []string{"mapiter", "wallclock", "bufown", "simhandle"}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d].Name = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing Doc or Run", a.Name)
+		}
+	}
+}
+
+// Malformed directives are findings in their own right and suppress
+// nothing. (Asserted directly: a directive comment cannot also carry a
+// want comment.)
+func TestBadDirectives(t *testing.T) {
+	pkg, err := LoadFixture("testdata", "baddir/orch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Check(pkg, []*Analyzer{MapIter})
+	var bad, mapiter []string
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lint":
+			bad = append(bad, d.Message)
+		case "mapiter":
+			mapiter = append(mapiter, d.Message)
+		}
+	}
+	wantBad := []string{
+		"//lint:ordered requires a reason",
+		"//lint:allow requires an analyzer name and a reason",
+		`//lint:allow names unknown analyzer "bogus"`,
+		`unknown //lint: directive "frobnicate"`,
+		"//lint:allow mapiter requires a reason",
+		"empty //lint: directive",
+	}
+	for _, w := range wantBad {
+		found := false
+		for _, m := range bad {
+			if m == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing bad-directive finding %q in %q", w, bad)
+		}
+	}
+	if len(bad) != len(wantBad) {
+		t.Errorf("bad-directive findings = %d, want %d: %q", len(bad), len(wantBad), bad)
+	}
+	if len(mapiter) != 6 {
+		t.Errorf("mapiter findings = %d, want 6 (malformed directives must not suppress)", len(mapiter))
+	}
+}

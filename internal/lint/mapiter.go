@@ -1,0 +1,279 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIter flags `for range` over a map in determinism-critical packages
+// (orch, cluster, experiments, faults, report, metrics, runner — the
+// packages whose iteration order can reach reports, placement decisions,
+// or merged parallel results). This is the PR 1 / PR 3 orch bug class,
+// encoded: Go randomizes map iteration order per run, so any observable
+// effect sequenced by such a loop diverges between runs and between
+// -workers counts.
+//
+// Two escapes exist. A loop that only collects keys/values into locals
+// and immediately feeds one of them to a sort (the canonical
+// sort-before-use idiom) is recognized and allowed. Everything else —
+// including loops whose bodies are believed order-insensitive — must
+// carry a `//lint:ordered <reason>` annotation, so every unordered walk
+// in a critical package is a reviewed, explained decision.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flags nondeterministic map iteration in determinism-critical packages",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *Pass) {
+	if !determinismCritical(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if collectThenSort(pass, rs, file) {
+				return true
+			}
+			pass.Reportf(rs.For,
+				"range over map: iteration order is nondeterministic; sort before observable effects or annotate //lint:ordered <reason>")
+			return true
+		})
+	}
+}
+
+// collectThenSort reports whether rs is the benign collect-then-sort
+// idiom: the loop body only accumulates into local variables (no calls
+// beyond append/len/cap/conversions, no returns, breaks, sends, or other
+// observable effects), and the first later statement in the enclosing
+// block that mentions one of those variables is a sort.*/slices.* call.
+func collectThenSort(pass *Pass, rs *ast.RangeStmt, file *ast.File) bool {
+	targets := make(map[*types.Var]bool)
+	if !pureCollectBody(pass, rs.Body, targets) || len(targets) == 0 {
+		return false
+	}
+
+	// Find the statement list holding rs and scan what follows it.
+	var after []ast.Stmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if after != nil {
+			return false
+		}
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			return true
+		}
+		for i, s := range list {
+			if s == rs {
+				after = list[i+1:]
+				if after == nil {
+					after = []ast.Stmt{}
+				}
+				return false
+			}
+		}
+		return true
+	})
+
+	for _, s := range after {
+		mentions := false
+		isSort := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := pass.Info.Uses[id].(*types.Var); ok && targets[v] {
+					mentions = true
+				}
+			}
+			if call, ok := n.(*ast.CallExpr); ok && sortsTarget(pass, call, targets) {
+				isSort = true
+			}
+			return true
+		})
+		if mentions {
+			return isSort
+		}
+	}
+	return false
+}
+
+// sortsTarget reports whether call is a sort.* or slices.Sort* call whose
+// arguments mention one of the collected targets.
+func sortsTarget(pass *Pass, call *ast.CallExpr, targets map[*types.Var]bool) bool {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+		return false
+	}
+	for _, arg := range call.Args {
+		found := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := pass.Info.Uses[id].(*types.Var); ok && targets[v] {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// pureCollectBody walks a loop body and reports whether every statement
+// is pure accumulation into local variables, recording those variables
+// in targets. Any call (beyond append/len/cap/min/max and conversions),
+// return, break, send, go, or defer makes the body impure: its effects
+// would be sequenced by map order.
+func pureCollectBody(pass *Pass, body *ast.BlockStmt, targets map[*types.Var]bool) bool {
+	for _, s := range body.List {
+		if !pureCollectStmt(pass, s, targets) {
+			return false
+		}
+	}
+	return true
+}
+
+func pureCollectStmt(pass *Pass, s ast.Stmt, targets map[*types.Var]bool) bool {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			if !pureExpr(pass, rhs) {
+				return false
+			}
+		}
+		for _, lhs := range st.Lhs {
+			v := collectTarget(pass, lhs)
+			if v == nil {
+				return false
+			}
+			targets[v] = true
+		}
+		return true
+	case *ast.IncDecStmt:
+		v := collectTarget(pass, st.X)
+		if v == nil {
+			return false
+		}
+		targets[v] = true
+		return true
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if !ok {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return false
+			}
+			for _, val := range vs.Values {
+				if !pureExpr(pass, val) {
+					return false
+				}
+			}
+			for _, name := range vs.Names {
+				if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+					targets[v] = true
+				}
+			}
+		}
+		return true
+	case *ast.IfStmt:
+		if st.Init != nil && !pureCollectStmt(pass, st.Init, targets) {
+			return false
+		}
+		if !pureExpr(pass, st.Cond) {
+			return false
+		}
+		if !pureCollectBody(pass, st.Body, targets) {
+			return false
+		}
+		if st.Else != nil {
+			if !pureCollectStmt(pass, st.Else, targets) {
+				return false
+			}
+		}
+		return true
+	case *ast.BlockStmt:
+		return pureCollectBody(pass, st, targets)
+	case *ast.BranchStmt:
+		// continue is harmless; break would keep an order-dependent
+		// subset of the map, so it disqualifies the loop.
+		return st.Tok == token.CONTINUE
+	default:
+		// return would keep an order-dependent subset; calls, sends,
+		// go, defer are observable effects.
+		return false
+	}
+}
+
+// collectTarget resolves an assignment target to the local variable
+// being accumulated into: a plain local ident, or an index expression
+// rooted at one (counts[k]++).
+func collectTarget(pass *Pass, e ast.Expr) *types.Var {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if t.Name == "_" {
+			return nil
+		}
+		return localVar(pass.Info, t)
+	case *ast.IndexExpr:
+		if !pureExpr(pass, t.Index) {
+			return nil
+		}
+		return collectTarget(pass, t.X)
+	}
+	return nil
+}
+
+// pureExpr reports whether e has no observable effects: no calls except
+// append/len/cap/min/max and type conversions, no channel receives.
+func pureExpr(pass *Pass, e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.CallExpr:
+			switch builtinName(pass.Info, t) {
+			case "append", "len", "cap", "min", "max":
+				return true
+			}
+			if isConversion(pass.Info, t) {
+				return true
+			}
+			pure = false
+			return false
+		case *ast.UnaryExpr:
+			if t.Op.String() == "<-" {
+				pure = false
+				return false
+			}
+		case *ast.FuncLit:
+			pure = false
+			return false
+		}
+		return true
+	})
+	return pure
+}

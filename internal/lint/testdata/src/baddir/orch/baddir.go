@@ -1,0 +1,47 @@
+// Package orch (under baddir/) exercises the directive parser's failure
+// modes: every malformed //lint: comment is itself a finding and
+// suppresses nothing. Asserted directly by TestBadDirectives rather
+// than via want comments (a directive comment cannot also carry one).
+package orch
+
+func orderedNoReason(m map[string]int, emit func(int)) {
+	//lint:ordered
+	for _, v := range m {
+		emit(v)
+	}
+}
+
+func allowNoArgs(m map[string]int, emit func(int)) {
+	//lint:allow
+	for _, v := range m {
+		emit(v)
+	}
+}
+
+func allowUnknownAnalyzer(m map[string]int, emit func(int)) {
+	//lint:allow bogus because reasons
+	for _, v := range m {
+		emit(v)
+	}
+}
+
+func unknownDirective(m map[string]int, emit func(int)) {
+	//lint:frobnicate stuff
+	for _, v := range m {
+		emit(v)
+	}
+}
+
+func allowNoReason(m map[string]int, emit func(int)) {
+	//lint:allow mapiter
+	for _, v := range m {
+		emit(v)
+	}
+}
+
+func emptyDirective(m map[string]int, emit func(int)) {
+	//lint:
+	for _, v := range m {
+		emit(v)
+	}
+}

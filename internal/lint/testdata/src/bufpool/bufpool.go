@@ -1,0 +1,10 @@
+// Package bufpool models the real internal/bufpool contract surface for
+// the analyzer fixtures: same method names and signatures, matched by
+// the analyzers on the package-path tail.
+package bufpool
+
+type Pool struct{}
+
+func (p *Pool) Get(n int) []byte { return make([]byte, n) }
+
+func (p *Pool) Put(buf []byte) {}

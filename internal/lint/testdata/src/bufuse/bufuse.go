@@ -1,0 +1,179 @@
+// Package bufuse is the bufown fixture: every way the bufpool
+// ownership contract gets broken in practice, next to the shapes that
+// honor it.
+package bufuse
+
+import (
+	"errors"
+
+	"bufpool"
+)
+
+var errBoom = errors.New("boom")
+
+func doThing(fail bool) error {
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+// leakOnError is the canonical bug this analyzer exists for: the early
+// error return walks out of the function with the buffer still owned.
+func leakOnError(p *bufpool.Pool, fail bool) error {
+	b := p.Get(64)
+	if err := doThing(fail); err != nil {
+		return err // want "return leaks buffer"
+	}
+	p.Put(b)
+	return nil
+}
+
+// useAfterPut reads an element after release: the byte may belong to
+// whoever Get hands the buffer to next.
+func useAfterPut(p *bufpool.Pool) byte {
+	b := p.Get(64)
+	p.Put(b)
+	return b[0] // want "use of buffer after Put"
+}
+
+func returnAfterPut(p *bufpool.Pool) []byte {
+	b := p.Get(64)
+	p.Put(b)
+	return b // want "use of buffer after Put"
+}
+
+func sliceAfterPut(p *bufpool.Pool) []byte {
+	b := p.Get(64)
+	p.Put(b)
+	return b[:8] // want "use of buffer after Put"
+}
+
+type holder struct{ buf []byte }
+
+func storeAfterPut(p *bufpool.Pool, h *holder) {
+	b := p.Get(64)
+	p.Put(b)
+	h.buf = b // want "use of buffer after Put"
+}
+
+func copyAfterPut(p *bufpool.Pool, dst []byte) {
+	b := p.Get(64)
+	p.Put(b)
+	_ = copy(dst, b) // want "use of buffer after Put"
+}
+
+func captureAfterPut(p *bufpool.Pool) func() byte {
+	b := p.Get(64)
+	p.Put(b)
+	return func() byte { return b[0] } // want "closure captures buffer after Put"
+}
+
+func doublePut(p *bufpool.Pool) {
+	b := p.Get(64)
+	p.Put(b)
+	p.Put(b) // want "double Put corrupts the free list"
+}
+
+// putOnOnePath releases on one branch only; the merge is conservative,
+// so everything after the if is judged against the released state.
+func putOnOnePath(p *bufpool.Pool, done bool) {
+	b := p.Get(64)
+	if done {
+		p.Put(b)
+	}
+	b[0] = 1 // want "use of buffer after Put"
+	p.Put(b) // want "double Put corrupts the free list"
+}
+
+func discardedGet(p *bufpool.Pool) {
+	p.Get(64) // want "result of Get discarded"
+}
+
+func leakAtEnd(p *bufpool.Pool) {
+	b := p.Get(64) // want "never Put"
+	_ = len(b)
+}
+
+func reassignLoses(p *bufpool.Pool) {
+	b := p.Get(64)
+	b = nil // want "reassigned before Put"
+	_ = b
+}
+
+func overwriteLoses(p *bufpool.Pool) {
+	b := p.Get(64)
+	b = p.Get(128) // want "overwrites buffer from Get"
+	p.Put(b)
+}
+
+// --- The legal shapes, which must stay silent. ---
+
+func pair(p *bufpool.Pool) int {
+	b := p.Get(64)
+	b[0] = 1
+	n := len(b)
+	p.Put(b)
+	return n
+}
+
+func deferredPut(p *bufpool.Pool, fail bool) error {
+	b := p.Get(64)
+	defer p.Put(b)
+	if fail {
+		return errBoom // covered by the deferred Put
+	}
+	b[0] = 1
+	return nil
+}
+
+func deferredClosurePut(p *bufpool.Pool, fail bool) error {
+	b := p.Get(64)
+	defer func() { p.Put(b) }()
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+// transferCall hands ownership (and the Put obligation) to sink.
+func transferCall(p *bufpool.Pool, sink func([]byte)) {
+	b := p.Get(64)
+	sink(b)
+}
+
+// transferReturn hands ownership to the caller.
+func transferReturn(p *bufpool.Pool) []byte {
+	b := p.Get(64)
+	return b
+}
+
+// resize keeps ownership of the same backing array.
+func resize(p *bufpool.Pool) {
+	b := p.Get(64)
+	b = b[:32]
+	p.Put(b)
+}
+
+// nilCompare borrows nothing.
+func nilCompare(p *bufpool.Pool) bool {
+	b := p.Get(64)
+	ok := b != nil
+	p.Put(b)
+	return ok
+}
+
+func loopPair(p *bufpool.Pool, rounds int) {
+	for i := 0; i < rounds; i++ {
+		b := p.Get(64)
+		b[0] = byte(i)
+		p.Put(b)
+	}
+}
+
+// annotatedProbe is the escape hatch: the leak is the point of the
+// code, and the annotation says why.
+func annotatedProbe(p *bufpool.Pool) {
+	b := p.Get(64) //lint:allow bufown fixture probe: the buffer is measured and deliberately never recycled
+	_ = len(b)
+}

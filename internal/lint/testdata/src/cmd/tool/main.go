@@ -1,0 +1,15 @@
+// Package main is the wallclock negative fixture: cmd/ binaries are the
+// CLI shell outside the simulated world, where wall-clock time is fine
+// (progress meters, log stamps).
+package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 { return time.Now().UnixNano() }
+
+func jitter(n int) int { return rand.Intn(n) }
+
+func main() {}

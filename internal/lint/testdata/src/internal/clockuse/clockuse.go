@@ -1,0 +1,42 @@
+// Package clockuse is a wallclock fixture: an internal/ package that
+// reaches for wall-clock time and the global rand source — the two ways
+// a simulated run silently stops being a pure function of its seed.
+package clockuse
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stampNow() int64 {
+	return time.Now().UnixNano() // want "time.Now in internal/"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in internal/"
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want "global rand source"
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand source"
+}
+
+// seeded construction and methods on the resulting source are the
+// sanctioned path: the ban is on the shared global source, not the
+// package.
+func seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// time.Duration arithmetic and parsing never read the wall clock.
+func budget(ms int64) time.Duration {
+	return time.Duration(ms) * time.Millisecond
+}
+
+func annotated() int64 {
+	return time.Now().Unix() //lint:allow wallclock operator-facing progress stamp, outside any measurement
+}

@@ -1,0 +1,70 @@
+// Package orch is a mapiter fixture shaped after the real PR 1 / PR 3
+// bug: the orchestrator scheduled per-tenant publishers by ranging over
+// a map, so event-queue insertion order — and therefore every
+// downstream latency figure — changed run to run.
+package orch
+
+import "sort"
+
+type publisher struct{ name string }
+
+// schedulePublishers is the bug as it shipped: emit is an observable
+// effect (it schedules sim events), sequenced by map order.
+func schedulePublishers(pubs map[string]*publisher, emit func(*publisher)) {
+	for _, p := range pubs { // want "range over map"
+		emit(p)
+	}
+}
+
+// scheduleOrdered is the PR 1 fix: collect, sort, then act. The
+// collect-then-sort idiom is recognized and allowed.
+func scheduleOrdered(pubs map[string]*publisher, emit func(*publisher)) {
+	names := make([]string, 0, len(pubs))
+	for name := range pubs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		emit(pubs[name])
+	}
+}
+
+// collectNoSort leaks unordered keys to its caller: collection alone is
+// not enough, the sort must happen before the slice is observable.
+func collectNoSort(pubs map[string]*publisher) []string {
+	var names []string
+	for name := range pubs { // want "range over map"
+		names = append(names, name)
+	}
+	return names
+}
+
+// sortsWrongVar collects from the map but sorts an unrelated slice; the
+// collected keys are still observed unsorted.
+func sortsWrongVar(pubs map[string]*publisher, other []string) []string {
+	var names []string
+	for name := range pubs { // want "range over map"
+		names = append(names, name)
+	}
+	sort.Strings(other)
+	return names
+}
+
+// countLoad is a deliberate unordered walk: integer accumulation is
+// order-insensitive, and the annotation records that reasoning where
+// the next reader will see it.
+func countLoad(byRack map[string]int) int {
+	n := 0
+	//lint:ordered integer sum, order-insensitive
+	for _, v := range byRack {
+		n += v
+	}
+	return n
+}
+
+// sliceWalk: ranging over a slice is always fine.
+func sliceWalk(names []string, emit func(string)) {
+	for _, n := range names {
+		emit(n)
+	}
+}

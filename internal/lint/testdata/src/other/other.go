@@ -1,0 +1,9 @@
+// Package other is the mapiter negative fixture: a package outside the
+// determinism-critical set, where unordered map walks are left alone.
+package other
+
+func walk(m map[string]int, emit func(int)) {
+	for _, v := range m {
+		emit(v)
+	}
+}

@@ -1,0 +1,16 @@
+// Package sim models the event-handle surface of the real internal/sim
+// engine for the analyzer fixtures: same names, matched by the
+// analyzers on the package-path tail.
+package sim
+
+type Event struct{ at int64 }
+
+func (e *Event) Canceled() bool { return false }
+
+func (e *Event) When() int64 { return e.at }
+
+type Engine struct{}
+
+func (e *Engine) After(d int64, fn func()) *Event { return &Event{at: d} }
+
+func (e *Engine) Cancel(ev *Event) {}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock forbids wall-clock time and global (unseeded) randomness
+// inside internal/ packages. A simulated run must be a pure function of
+// its inputs and seed: all time flows from the sim.Engine clock and all
+// randomness from its seeded source. time.Now / time.Since and the
+// math/rand package-level functions (which draw from the shared global
+// source) break that purity silently — output still looks plausible, it
+// just stops being reproducible.
+//
+// cmd/ binaries, examples, and the module root (the CLI shell and its
+// integration harness) are outside the simulated world and allowlisted.
+// Constructing seeded sources (rand.New, rand.NewSource, rand.NewPCG,
+// rand.NewChaCha8, rand.NewZipf) is allowed everywhere — it is the
+// global source, not the package, that is banned.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbids time.Now/time.Since and global math/rand sources in internal/ packages",
+	Run:  runWallClock,
+}
+
+// seededConstructors are the math/rand functions that do not touch the
+// global source.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runWallClock(pass *Pass) {
+	if !insideInternal(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			// Package-level functions only: methods on a *rand.Rand or a
+			// time.Timer are fine (the former is necessarily seeded).
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" || fn.Name() == "Since" {
+					pass.Reportf(call.Pos(),
+						"%s.%s in internal/: simulated code must use the seeded sim clock (sim.Engine.Now)", fn.Pkg().Name(), fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededConstructors[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"%s.%s draws from the global rand source in internal/: use the engine's seeded source (sim.Engine.Rand)", fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

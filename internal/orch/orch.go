@@ -641,9 +641,15 @@ func (o *Orchestrator) Harvest(user *core.Host, namePrefix string, n int, cfg co
 	if n <= 0 {
 		return nil, errors.New("orch: harvest count must be positive")
 	}
+	// Walk assignments in vnicOrder, not map order: the used set's
+	// contents are order-insensitive, but every behavioral walk in this
+	// package goes through an ordered structure so the determinism
+	// contract is visible locally (and machine-checked by poollint).
 	used := map[string]bool{}
-	for _, dname := range o.assign {
-		used[dname] = true
+	for _, vname := range o.vnicOrder {
+		if dname, ok := o.assign[vname]; ok {
+			used[dname] = true
+		}
 	}
 	var out []*core.VirtualNIC
 	for _, dname := range o.order {

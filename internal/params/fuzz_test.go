@@ -1,0 +1,88 @@
+package params
+
+import (
+	"errors"
+	"testing"
+)
+
+// fuzzSet builds a Set covering every Spec shape: unbounded int,
+// bounded int, float, enum string, free string.
+func fuzzSet() *Set {
+	return New(
+		Spec{Name: "seed", Kind: Int, Def: "42", Help: "seed"},
+		intSpec("racks", "4", 2, 64),
+		Spec{Name: "ratio", Kind: Float, Def: "0.5", Help: "ratio"},
+		Spec{Name: "payload", Kind: String, Def: "all", Enum: []string{"75", "all"}, Help: "payload"},
+		Spec{Name: "label", Kind: String, Def: "", Help: "label"},
+	)
+}
+
+// FuzzParams feeds arbitrary name/value pairs through Set, the same
+// contract FuzzParseRule pins for the policy grammar: Set never panics,
+// every rejection wraps ErrBadParam and leaves the Set untouched, and
+// every accepted assignment is canonical — replaying Values() into a
+// fresh Set reproduces the assignment exactly.
+func FuzzParams(f *testing.F) {
+	for _, seed := range [][2]string{
+		{"racks", "8"},
+		{"racks", "1"},
+		{"racks", "65"},
+		{"racks", "four"},
+		{"racks", "9999999999999999999"},
+		{"racks", "-0"},
+		{"seed", "-1"},
+		{"ratio", "0.25"},
+		{"ratio", "NaN"},
+		{"ratio", "1e309"},
+		{"payload", "all"},
+		{"payload", "76"},
+		{"label", "free\x00form"},
+		{"nonsense", "1"},
+		{"", ""},
+	} {
+		f.Add(seed[0], seed[1])
+	}
+	f.Fuzz(func(t *testing.T, name, value string) {
+		s := fuzzSet()
+		before := s.Values()
+		if err := s.Set(name, value); err != nil {
+			if !errors.Is(err, ErrBadParam) {
+				t.Fatalf("Set(%q, %q) error %v does not wrap ErrBadParam", name, value, err)
+			}
+			for i, kv := range s.Values() {
+				if kv != before[i] {
+					t.Fatalf("rejected Set(%q, %q) mutated %s: %q -> %q", name, value, kv.Name, before[i].Value, kv.Value)
+				}
+			}
+			return
+		}
+		if got := s.Str(name); got != value {
+			t.Fatalf("accepted Set(%q, %q) stored %q", name, value, got)
+		}
+		// The typed accessor for the declared kind must parse what
+		// validation accepted.
+		for _, sp := range s.Specs() {
+			if sp.Name != name {
+				continue
+			}
+			switch sp.Kind {
+			case Int:
+				s.Int64(name)
+			case Float:
+				s.Float(name)
+			}
+		}
+		// Round-trip: every effective value re-validates verbatim.
+		c := fuzzSet()
+		for _, kv := range s.Values() {
+			if err := c.Set(kv.Name, kv.Value); err != nil {
+				t.Fatalf("canonical value %s=%q of accepted set fails to re-validate: %v", kv.Name, kv.Value, err)
+			}
+		}
+		for i, kv := range c.Values() {
+			if got := s.Values()[i]; kv != got {
+				t.Fatalf("round-trip drift at %s: %q -> %q", kv.Name, got.Value, kv.Value)
+			}
+		}
+	})
+}

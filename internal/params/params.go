@@ -15,10 +15,28 @@
 package params
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 )
+
+// ErrBadParam is wrapped by every Set rejection — bad value, violated
+// bound, unknown name — so callers can distinguish user-input errors
+// from programming errors (which panic) with errors.Is.
+var ErrBadParam = errors.New("bad parameter")
+
+// paramError carries a rejection message and marks it as ErrBadParam
+// without altering the rendered text.
+type paramError struct{ msg string }
+
+func (e *paramError) Error() string { return e.msg }
+
+func (e *paramError) Unwrap() error { return ErrBadParam }
+
+func badParamf(format string, args ...any) error {
+	return &paramError{msg: fmt.Sprintf(format, args...)}
+}
 
 // Kind is a parameter's value type.
 type Kind int
@@ -84,14 +102,14 @@ func (s Spec) validate(value string) error {
 	case Int:
 		n, err := strconv.ParseInt(value, 10, 64)
 		if err != nil {
-			return fmt.Errorf("params: -%s=%q is not an integer", s.Name, value)
+			return badParamf("params: -%s=%q is not an integer", s.Name, value)
 		}
 		if s.Bounded && (n < s.Min || n > s.Max) {
-			return fmt.Errorf("params: -%s=%d out of range %d..%d", s.Name, n, s.Min, s.Max)
+			return badParamf("params: -%s=%d out of range %d..%d", s.Name, n, s.Min, s.Max)
 		}
 	case Float:
 		if _, err := strconv.ParseFloat(value, 64); err != nil {
-			return fmt.Errorf("params: -%s=%q is not a number", s.Name, value)
+			return badParamf("params: -%s=%q is not a number", s.Name, value)
 		}
 	case String:
 		if len(s.Enum) > 0 {
@@ -100,7 +118,7 @@ func (s Spec) validate(value string) error {
 					return nil
 				}
 			}
-			return fmt.Errorf("params: -%s=%q not one of %s", s.Name, value, strings.Join(s.Enum, "|"))
+			return badParamf("params: -%s=%q not one of %s", s.Name, value, strings.Join(s.Enum, "|"))
 		}
 	}
 	return nil
@@ -170,7 +188,7 @@ func (s *Set) Set(name, value string) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("params: unknown parameter %q", name)
+	return badParamf("params: unknown parameter %q", name)
 }
 
 // Has reports whether the parameter is declared.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -70,7 +71,14 @@ func (v *schemaValidator) validate(schema map[string]any, doc any, path string) 
 	if err != nil {
 		return err
 	}
+	// Sorted walk: with several unsupported keywords present, the one
+	// reported must not depend on map iteration order.
+	keywords := make([]string, 0, len(schema))
 	for k := range schema {
+		keywords = append(keywords, k)
+	}
+	sort.Strings(keywords)
+	for _, k := range keywords {
 		if !knownKeywords[k] {
 			return fmt.Errorf("report: schema keyword %q at %s outside supported subset", k, path)
 		}
@@ -102,7 +110,16 @@ func (v *schemaValidator) validate(schema map[string]any, doc any, path string) 
 			}
 		}
 		props, _ := schema["properties"].(map[string]any)
-		for name, val := range obj {
+		// Validate properties in sorted order so the first error
+		// surfaced (validation stops at the first failure) is the same
+		// on every run.
+		names := make([]string, 0, len(obj))
+		for name := range obj {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			val := obj[name]
 			ps, declared := props[name]
 			if declared {
 				pschema, ok := ps.(map[string]any)
