@@ -343,6 +343,38 @@ func BenchmarkFailuresCorrelated(b *testing.B) {
 	}
 }
 
+// BenchmarkChurnAdmission exercises E17 end to end: schedule
+// generation (bursty arrivals, heavy-tailed lifetimes), the admission
+// fast path (cached headroom, spill probes, typed rejects), departures,
+// warm-pool autoscaling, and report rendering.
+func BenchmarkChurnAdmission(b *testing.B) {
+	s, ok := experiments.Lookup("churn")
+	if !ok {
+		b.Fatal("churn not registered")
+	}
+	for i := 0; i < b.N; i++ {
+		p := s.NewParams()
+		for _, kv := range [][2]string{
+			{"seed", strconv.Itoa(i)},
+			{"arrivals", "bursty"},
+			{"lifetime", "pareto"},
+			{"rate", "8"},
+			{"epochs", "12"},
+		} {
+			if err := p.Set(kv[0], kv[1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rep, err := s.Run(context.Background(), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.WriteString(io.Discard, rep.Text()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkStorageComparison regenerates E12: local vs CXL-pooled vs
 // NVMe-oF 4K read latency on two media profiles.
 func BenchmarkStorageComparison(b *testing.B) {

@@ -2,6 +2,7 @@ package cxlpool
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -41,5 +42,37 @@ func TestRunAllMatchesGolden(t *testing.T) {
 		}
 		t.Fatalf("output diverges from golden at byte %d:\ngolden: %q\ngot:    %q",
 			i, a[lo:min(i+120, len(a))], b[lo:min(i+120, len(b))])
+	}
+}
+
+// TestChurnTraceMatchesGolden pins replay determinism for E17: the
+// checked-in canonical trace must render the checked-in report byte
+// for byte, exactly as `all` is pinned by all_seed42.golden. The trace
+// was recorded with `-rate 4 -seed 7 -record ...`; regenerate both with:
+//
+//	go run ./cmd/cxlpool churn -epochs 12 -rate 4 -seed 7 -record testdata/churn_small.trace > /dev/null
+//	go run ./cmd/cxlpool churn -epochs 12 -trace testdata/churn_small.trace > testdata/churn_small.golden
+func TestChurnTraceMatchesGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "churn_small.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := experiments.Lookup("churn")
+	if !ok {
+		t.Fatal("churn not registered")
+	}
+	p := s.NewParams()
+	if err := p.Set("epochs", "12"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("trace", filepath.Join("testdata", "churn_small.trace")); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal([]byte(rep.Text()), want) {
+		t.Fatalf("churn replay diverges from golden:\n--- golden\n%s\n--- got\n%s", want, rep.Text())
 	}
 }

@@ -1,0 +1,56 @@
+package churn
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParseTrace feeds arbitrary bytes through the trace grammar. The
+// contract under fuzzing — the same one FuzzParseRule and FuzzParams
+// pin for their grammars: the parser never panics, every rejection
+// wraps ErrBadTrace, and every accepted trace round-trips through the
+// writer byte-identically (write∘parse is idempotent, so recorded
+// schedules replay exactly).
+func FuzzParseTrace(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"# comment only\n",
+		"0 arrive t0 5 0\n",
+		"0 arrive t0 5 0\n3 depart t0\n",
+		"0 arrive t0 2.5 1\n0 arrive t1 40 0\n1 depart t0\n1 arrive t2 0.25 3\n",
+		"0 arrive t0 1e2 0\n",
+		"0 arrive t0 5 0\n0 depart t0\n",
+		"5 arrive a 5 0\n3 arrive b 5 0\n",
+		"0 depart ghost\n",
+		"0 arrive dup 5 0\n1 arrive dup 5 0\n",
+		"0 arrive t0 NaN 0\n",
+		"0 arrive t0 -1 0\n",
+		"0 arrive t0 5 -1\n",
+		"-3 arrive t0 5 0\n",
+		"0 dance t0 5 0\n",
+		"0 arrive\n",
+		"0 arrive t0 5 0 extra\n",
+		"9999999999999999999 arrive t0 5 0\n",
+		"0 arrive \x00 5 0\n",
+		"0 arrive t0 5 0\r\n",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ParseTrace(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("ParseTrace(%q) error %v does not wrap ErrBadTrace", data, err)
+			}
+			return
+		}
+		text := tr.Text()
+		tr2, err := ParseTrace([]byte(text))
+		if err != nil {
+			t.Fatalf("canonical text %q of accepted trace %q fails to re-parse: %v", text, data, err)
+		}
+		if tr2.Text() != text {
+			t.Fatalf("round-trip drift:\n%q\n->\n%q", text, tr2.Text())
+		}
+	})
+}

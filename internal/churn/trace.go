@@ -1,0 +1,143 @@
+package churn
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ErrBadTrace is wrapped by every trace rejection — syntax errors,
+// out-of-range fields, broken lifecycles — so callers can separate
+// bad-input errors from programming errors with errors.Is, exactly
+// like faults.ErrBadRule and params.ErrBadParam.
+var ErrBadTrace = errors.New("churn: bad trace")
+
+// ParseTrace parses the compact text trace format:
+//
+//	<epoch> arrive <tenant> <gbps> <home>
+//	<epoch> depart <tenant>
+//
+// One event per line, fields separated by spaces. Blank lines and
+// lines starting with '#' are comments and ignored. Epochs must be
+// non-decreasing in file order (a trace is a timeline, not a bag).
+// The returned Trace is canonical: within an epoch departures sort
+// before arrivals, so writing it back (Text) yields the same bytes
+// for any already-canonical input — parse∘write is the identity, and
+// write∘parse is idempotent for every accepted input (FuzzParseTrace
+// pins both).
+func ParseTrace(data []byte) (*Trace, error) {
+	var events []Event
+	last := 0
+	for ln, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		e, err := parseLine(fields)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		if e.Epoch < last {
+			return nil, fmt.Errorf("line %d: %w: epoch %d after epoch %d (epochs must be non-decreasing)",
+				ln+1, ErrBadTrace, e.Epoch, last)
+		}
+		last = e.Epoch
+		events = append(events, e)
+	}
+	return newTrace(events)
+}
+
+// parseLine decodes one event line already split into fields.
+func parseLine(fields []string) (Event, error) {
+	var e Event
+	epoch, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return e, fmt.Errorf("%w: epoch %q is not an integer", ErrBadTrace, fields[0])
+	}
+	e.Epoch = epoch
+	if len(fields) < 2 {
+		return e, fmt.Errorf("%w: missing op", ErrBadTrace)
+	}
+	switch fields[1] {
+	case "arrive":
+		if len(fields) != 5 {
+			return e, fmt.Errorf("%w: arrive wants `epoch arrive tenant gbps home`, got %d fields",
+				ErrBadTrace, len(fields))
+		}
+		e.Op = OpArrive
+		e.Tenant = fields[2]
+		g, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return e, fmt.Errorf("%w: demand %q is not a number", ErrBadTrace, fields[3])
+		}
+		e.Gbps = g
+		home, err := strconv.Atoi(fields[4])
+		if err != nil {
+			return e, fmt.Errorf("%w: home %q is not an integer", ErrBadTrace, fields[4])
+		}
+		e.Home = home
+	case "depart":
+		if len(fields) != 3 {
+			return e, fmt.Errorf("%w: depart wants `epoch depart tenant`, got %d fields",
+				ErrBadTrace, len(fields))
+		}
+		e.Op = OpDepart
+		e.Tenant = fields[2]
+	default:
+		return e, fmt.Errorf("%w: unknown op %q", ErrBadTrace, fields[1])
+	}
+	return e, checkEvent(e)
+}
+
+// checkEvent validates one event's fields — shared by the parser and
+// the construction path, so generated and parsed traces obey the same
+// contract.
+func checkEvent(e Event) error {
+	if e.Epoch < 0 {
+		return fmt.Errorf("%w: negative epoch %d", ErrBadTrace, e.Epoch)
+	}
+	if e.Tenant == "" {
+		return fmt.Errorf("%w: empty tenant name", ErrBadTrace)
+	}
+	if e.Op == OpDepart {
+		return nil
+	}
+	if !(e.Gbps > 0) || math.IsInf(e.Gbps, 1) {
+		return fmt.Errorf("%w: tenant %s demand %g is not a positive finite Gbps",
+			ErrBadTrace, e.Tenant, e.Gbps)
+	}
+	if e.Home < 0 {
+		return fmt.Errorf("%w: tenant %s has negative home rack %d", ErrBadTrace, e.Tenant, e.Home)
+	}
+	return nil
+}
+
+// formatGbps renders a demand value in the canonical form: %g via
+// strconv's shortest round-trip representation, so write∘parse∘write
+// is byte-stable for any float64.
+func formatGbps(g float64) string {
+	return strconv.FormatFloat(g, 'g', -1, 64)
+}
+
+// Text renders the trace in canonical form: one event per line in
+// schedule order, no comments, trailing newline (empty trace renders
+// as the empty string). Recording a generated schedule is
+// os.WriteFile(path, []byte(tr.Text()), 0o644) — replaying the file
+// reproduces the generated run byte-for-byte.
+func (t *Trace) Text() string {
+	var b strings.Builder
+	for _, e := range t.events {
+		b.WriteString(e.line())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteTrace writes the canonical form to w.
+func WriteTrace(w io.Writer, t *Trace) error {
+	_, err := io.WriteString(w, t.Text())
+	return err
+}

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 
+	"cxlpool/internal/churn"
 	"cxlpool/internal/core"
 	"cxlpool/internal/faults"
 	"cxlpool/internal/metrics"
@@ -110,6 +111,15 @@ type Config struct {
 	// frees up. <= 0 means an unlimited workforce — service starts the
 	// instant a fault strikes, the free-repair baseline.
 	Crews int
+	// Churn is the tenant arrival/departure schedule driving the fast
+	// admission path (nil: the fixed TenantsPerRack population, the
+	// legacy behavior). With a churn source, TenantsPerRack defaults
+	// to 0 — the population is whatever the schedule admits.
+	Churn churn.Source
+	// Autoscale enables the reconciler's warm-pool manager: each rack
+	// pre-harvests up to WarmSlotCap devices tracking its admission
+	// rate, so admissions land warm under steady load.
+	Autoscale bool
 }
 
 func (c Config) withDefaults() Config {
@@ -117,7 +127,11 @@ func (c Config) withDefaults() Config {
 		c.Topo = topo.Default()
 	}
 	if c.TenantsPerRack <= 0 {
-		c.TenantsPerRack = 4
+		if c.Churn == nil {
+			c.TenantsPerRack = 4
+		} else {
+			c.TenantsPerRack = 0
+		}
 	}
 	if c.Epoch <= 0 {
 		c.Epoch = DefaultEpoch
@@ -221,6 +235,13 @@ type Tenant struct {
 	vnic *core.VirtualNIC
 	user *core.Host
 
+	// churn marks a tenant admitted through the fast path; gone marks
+	// a departed one (kept in place so ordinals stay stable); retries
+	// counts re-admission attempts after rejections.
+	churn   bool
+	gone    bool
+	retries int
+
 	offeredBytes uint64
 	sentBytes    uint64
 }
@@ -284,6 +305,12 @@ type Rack struct {
 	// lostGbps is pooled capacity currently offline to host kills;
 	// effective capacity is (capacityGbps - lostGbps) * capScale.
 	lostGbps float64
+
+	// warm is the reconciler-managed warm pool: pre-harvested vNICs
+	// whose devices are handed to admissions at warm latency; warmSeq
+	// keeps every grow's Harvest name prefix unique for the run.
+	warm    []*core.VirtualNIC
+	warmSeq int
 
 	capacityGbps   float64
 	deliveredBytes uint64
@@ -357,6 +384,21 @@ type Cluster struct {
 	remedDowntime  sim.Duration
 	remedThrottled int
 
+	// Router (fast admission path) state: per-rack cached headroom
+	// summaries, the name index departures resolve through, the
+	// serialized router clock, and the admission ledger.
+	summaries                    []headroom
+	byName                       map[string]*Tenant
+	routerClock                  sim.Duration
+	admitLat                     *metrics.Recorder
+	epochLat                     *metrics.Recorder
+	admitsInto                   []int
+	rejects                      [rejectReasonCount]int
+	admittedTotal, rejectedTotal int
+	retriedTotal, abandonedTotal int
+	live                         int
+	warmGrows, warmShrinks       int
+
 	epoch int
 }
 
@@ -389,6 +431,23 @@ type EpochStats struct {
 	// under active repair after this epoch's strikes were dispatched.
 	RepairQueue int
 	CrewsBusy   int
+	// Churn/admission view this epoch (all zero without a churn
+	// source). Live counts tenants arrived-and-not-departed, admitted
+	// or still waiting; Retried counts re-admission attempts; WarmGrow
+	// and WarmShrink count warm-pool slot transitions.
+	Arrivals   int
+	Departures int
+	Admitted   int
+	Rejected   int
+	Retried    int
+	Live       int
+	WarmGrow   int
+	WarmShrink int
+	// AdmitP50/P95/P99 are this epoch's admission-latency percentiles
+	// in simulated nanoseconds (0 when nothing was admitted).
+	AdmitP50 float64
+	AdmitP95 float64
+	AdmitP99 float64
 }
 
 // New builds the racks, their orchestrators, and the tenant
@@ -415,6 +474,9 @@ func New(cfg Config) (*Cluster, error) {
 		migratedOut:   metrics.NewCounterSet(),
 		drained:       metrics.NewCounterSet(),
 		MigrationTime: metrics.NewRecorder(64),
+		byName:        make(map[string]*Tenant),
+		admitLat:      metrics.NewRecorder(256),
+		epochLat:      metrics.NewRecorder(64),
 	}
 	for r := 0; r < cfg.Topo.RackCount(); r++ {
 		rack, err := c.buildRack(r)
@@ -437,17 +499,28 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		for i := 0; i < cfg.TenantsPerRack; i++ {
-			c.tenants = append(c.tenants, &Tenant{
+			t := &Tenant{
 				Name:     fmt.Sprintf("r%dt%d", r, i),
 				Home:     r,
 				BaseGbps: demand.Next(),
 				idx:      len(c.tenants),
 				rack:     -1,
-			})
+			}
+			c.tenants = append(c.tenants, t)
+			c.byName[t.Name] = t
 		}
 	}
 	for _, r := range c.racks {
 		r.deliveredBy = make([]uint64, len(c.tenants))
+	}
+	c.admitsInto = make([]int, len(c.racks))
+	c.refreshSummaries()
+	if tr, ok := cfg.Churn.(*churn.Trace); ok && tr != nil {
+		// Fail fast on a schedule that names racks outside the fleet,
+		// instead of erroring mid-run at the offending arrival.
+		if err := tr.Validate(len(c.racks)); err != nil {
+			return nil, err
+		}
 	}
 	return c, nil
 }
@@ -972,8 +1045,13 @@ func (c *Cluster) RunEpoch() (EpochStats, error) {
 		Pressure:      make([]float64, len(c.racks)),
 		MeasuredLoad:  make([]float64, len(c.racks)),
 	}
-	// Demand update.
+	// Demand update. Departed tenants stay in the slice (ordinals are
+	// delivery-attribution keys) but demand nothing.
 	for _, t := range c.tenants {
+		if t.gone {
+			t.gbps = 0
+			continue
+		}
 		t.gbps = t.BaseGbps * c.cfg.Skew.Factor(e, t.Home)
 		if t.gbps > tenantCapGbps {
 			t.gbps = tenantCapGbps
@@ -993,10 +1071,20 @@ func (c *Cluster) RunEpoch() (EpochStats, error) {
 		st.PolicyActions = c.runPolicy(e)
 		st.PolicyThrottled = c.remedThrottled - throttled0
 	}
+	// Router turn: the reconciler publishes fresh headroom summaries,
+	// then the fast path runs this epoch's departures, retries, and
+	// arrivals against the cache.
+	if c.cfg.Churn != nil {
+		c.refreshSummaries()
+		if err := c.admitEpoch(e, &st); err != nil {
+			return st, err
+		}
+	}
 	// Initial placement (epoch 0) and placement of any tenant a failed
-	// earlier sweep left unplaced.
+	// earlier sweep left unplaced. Churn tenants never take this path —
+	// rejected ones wait for the router's next retry turn.
 	for _, t := range c.tenants {
-		if t.rack >= 0 {
+		if t.rack >= 0 || t.churn {
 			continue
 		}
 		if err := c.place(t); err != nil {
@@ -1017,6 +1105,9 @@ func (c *Cluster) RunEpoch() (EpochStats, error) {
 	st.Migrations, st.Repatriations = mig, rep
 	st.MigSameRow = int(c.sameRowMigs - same0)
 	st.MigCrossRow = int(c.crossRowMigs - cross0)
+	if c.cfg.Autoscale {
+		c.autoscale(&st)
+	}
 	for i := range c.racks {
 		st.Pressure[i] = c.pressure(i)
 	}

@@ -27,6 +27,8 @@
 //	               (standalone: by name or sweep only, not in `all`)
 //	E16 failures   failure injection & policy-driven remediation
 //	               (standalone: by name or sweep only, not in `all`)
+//	E17 churn      tenant churn workloads & the admission fast path
+//	               (standalone: by name or sweep only, not in `all`)
 package experiments
 
 import (
@@ -80,6 +82,8 @@ func All() []Scenario {
 			Params: multirowParamSpecs(), Run: runMultiRow, Standalone: true},
 		{Name: "failures", Paper: "E16: failure injection & policy-driven remediation",
 			Params: failuresParamSpecs(), Run: runFailures, Standalone: true},
+		{Name: "churn", Paper: "E17: tenant churn & the admission fast path",
+			Params: churnParamSpecs(), Run: runChurn, Standalone: true},
 	}
 }
 

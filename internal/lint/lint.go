@@ -259,6 +259,7 @@ var criticalPkgs = map[string]bool{
 	"cluster":     true,
 	"experiments": true,
 	"faults":      true,
+	"churn":       true,
 	"report":      true,
 	"metrics":     true,
 	"runner":      true,

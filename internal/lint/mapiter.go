@@ -7,9 +7,9 @@ import (
 )
 
 // MapIter flags `for range` over a map in determinism-critical packages
-// (orch, cluster, experiments, faults, report, metrics, runner — the
-// packages whose iteration order can reach reports, placement decisions,
-// or merged parallel results). This is the PR 1 / PR 3 orch bug class,
+// (orch, cluster, experiments, faults, churn, report, metrics, runner —
+// the packages whose iteration order can reach reports, placement
+// decisions, or merged parallel results). This is the PR 1 / PR 3 orch bug class,
 // encoded: Go randomizes map iteration order per run, so any observable
 // effect sequenced by such a loop diverges between runs and between
 // -workers counts.

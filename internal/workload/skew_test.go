@@ -93,3 +93,83 @@ func TestRackSkewDefaults(t *testing.T) {
 		t.Fatalf("default period: epoch 2 hot rack = %d, want 1", hot)
 	}
 }
+
+// The schedule is periodic with period Racks*Period: the hotspot wraps
+// back to rack 0 and every epoch far into a run matches its image one
+// full cycle earlier.
+func TestRackSkewWrapAround(t *testing.T) {
+	s := RackSkew{Racks: 5, HotFactor: 3, Period: 4}
+	cycle := s.Racks * s.Period
+	if hot := s.HotRack(cycle); hot != 0 {
+		t.Fatalf("epoch %d (one full cycle): hot rack %d, want wrap to 0", cycle, hot)
+	}
+	if hot := s.HotRack(cycle - 1); hot != s.Racks-1 {
+		t.Fatalf("last epoch of the cycle: hot rack %d, want %d", hot, s.Racks-1)
+	}
+	for _, e := range []int{0, 3, 7, 13, 19, 1_000_003} {
+		if a, b := s.HotRack(e), s.HotRack(e+cycle); a != b {
+			t.Fatalf("epoch %d hot rack %d != epoch %d hot rack %d", e, a, e+cycle, b)
+		}
+		for r := 0; r < s.Racks; r++ {
+			if a, b := s.Factor(e, r), s.Factor(e+cycle, r); a != b {
+				t.Fatalf("epoch %d rack %d factor %g != one cycle later %g", e, r, a, b)
+			}
+		}
+	}
+}
+
+// Degenerate fleets: one rack is always hot; zero racks pin the
+// hotspot to index 0 rather than dividing by zero.
+func TestRackSkewSingleRack(t *testing.T) {
+	one := RackSkew{Racks: 1, HotFactor: 8, Period: 3}
+	for e := 0; e < 10; e++ {
+		if hot := one.HotRack(e); hot != 0 {
+			t.Fatalf("single rack: epoch %d hot rack %d", e, hot)
+		}
+		if f := one.Factor(e, 0); f != 8 {
+			t.Fatalf("single rack: epoch %d factor %g, want 8", e, f)
+		}
+	}
+	var zero RackSkew
+	if hot := zero.HotRack(17); hot != 0 {
+		t.Fatalf("zero racks: hot rack %d, want 0", hot)
+	}
+}
+
+// HotFactor 1 is the flat schedule the churn scenario runs under:
+// every rack, hot or not, multiplies demand by exactly 1.
+func TestRackSkewFlatFactor(t *testing.T) {
+	s := RackSkew{Racks: 4, HotFactor: 1, Period: 1}
+	for e := 0; e < 8; e++ {
+		for r := 0; r < s.Racks; r++ {
+			if f := s.Factor(e, r); f != 1 {
+				t.Fatalf("flat schedule: epoch %d rack %d factor %g", e, r, f)
+			}
+		}
+	}
+}
+
+// Next never leaves the declared level set, so every draw is bounded
+// by the mix's min and max — the property the cluster layer's
+// per-tenant demand cap relies on.
+func TestTenantDemandBounds(t *testing.T) {
+	levels := []float64{1, 4, 16}
+	freqs := []float64{0.5, 0.3, 0.2}
+	d, err := NewTenantDemand(levels, freqs, sim.NewRand(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[float64]bool{}
+	for i := 0; i < 20000; i++ {
+		g := d.Next()
+		if g < levels[0] || g > levels[len(levels)-1] {
+			t.Fatalf("draw %g outside [%g, %g]", g, levels[0], levels[len(levels)-1])
+		}
+		seen[g] = true
+	}
+	for _, l := range levels {
+		if !seen[l] {
+			t.Fatalf("level %g never drawn in 20k samples", l)
+		}
+	}
+}
