@@ -394,3 +394,34 @@ func BenchmarkPooledNICDatapath(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSpineContention is the congested-datapath bench: a 2-row x
+// 3-rack federated fleet under a 12x rotating hotspot with 4:1
+// oversubscribed uplinks (E18's congested regime). Per-op cost adds
+// the spine's work to the federation cycle: per-epoch flow ledgers,
+// fair-share grants, queued migration transfers, and link accounting.
+func BenchmarkSpineContention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tp, err := topo.MultiRow(2, 3, topo.RackSpec{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := cluster.New(cluster.Config{
+			Topo:           tp,
+			TenantsPerRack: 6,
+			Seed:           int64(i),
+			Federate:       true,
+			Oversub:        4,
+			Skew:           workload.RackSkew{HotFactor: 12, Period: 2},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Run(4); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, mig, _ := c.Counters(); mig.Total() == 0 {
+			b.Fatal("contended federation cycle moved nothing")
+		}
+	}
+}

@@ -202,20 +202,33 @@ func (c *Cluster) rejectAdmit(t *Tenant, service sim.Duration, reason RejectReas
 	return AdmitResult{Rack: -1, Latency: c.routerClock}, &AdmitError{Tenant: t.Name, Reason: reason}
 }
 
-// spillCandidate ranks non-home racks by the cached summaries: fewest
-// hops from home first (same-row before cross-row), then lowest
+// spillCandidate ranks non-home racks by the cached summaries:
+// candidates whose home->candidate path has residual uplink capacity
+// rank strictly ahead of ones that would oversubscribe a spine link,
+// then fewest hops from home (same-row before cross-row), then lowest
 // pressure, ties to the lowest index — deterministic, and consistent
 // with the reconciler's coldestRackFor so the two layers never fight.
+// On a non-blocking spine every candidate fits and the ranking is
+// unchanged from the pure hops-then-pressure probe.
 func (c *Cluster) spillCandidate(t *Tenant, thr float64) int {
-	best, bestHops, bestP := -1, 0, 0.0
+	finite := !c.spine.Unlimited()
+	if finite {
+		c.loadSpineDemand(t)
+	}
+	best, bestFits, bestHops, bestP := -1, false, 0, 0.0
 	for i := range c.racks {
 		if i == t.Home || !c.summaries[i].fits(t.gbps, thr) {
 			continue
 		}
+		fits := true
+		if finite {
+			fits = c.spine.FlowFits(t.Home, i, t.gbps)
+		}
 		hops := c.cfg.Topo.RackPath(t.Home, i).Hops
 		p := c.summaries[i].usedGbps / c.summaries[i].capGbps
-		if best == -1 || hops < bestHops || (hops == bestHops && p < bestP) {
-			best, bestHops, bestP = i, hops, p
+		if best == -1 || (fits && !bestFits) ||
+			(fits == bestFits && (hops < bestHops || (hops == bestHops && p < bestP))) {
+			best, bestFits, bestHops, bestP = i, fits, hops, p
 		}
 	}
 	return best
@@ -325,6 +338,7 @@ func (c *Cluster) newChurnTenant(ev churn.Event) *Tenant {
 		t.BaseGbps = tenantCapGbps
 	}
 	t.gbps = t.BaseGbps
+	t.grantGbps = t.gbps
 	c.tenants = append(c.tenants, t)
 	c.byName[t.Name] = t
 	for _, r := range c.racks {

@@ -40,6 +40,7 @@ import (
 	"cxlpool/internal/params"
 	"cxlpool/internal/runner"
 	"cxlpool/internal/sim"
+	"cxlpool/internal/spine"
 	"cxlpool/internal/topo"
 	"cxlpool/internal/torless"
 	"cxlpool/internal/workload"
@@ -120,6 +121,12 @@ type Config struct {
 	// pre-harvests up to WarmSlotCap devices tracking its admission
 	// rate, so admissions land warm under steady load.
 	Autoscale bool
+	// Oversub is the spine oversubscription ratio: each inter-rack
+	// uplink's capacity is the pooled aggregate beneath it over this
+	// ratio, and cross-rack traffic queues on those links. 0 (the
+	// default) keeps the spine non-blocking — analytic path costs, no
+	// contention, the legacy behavior.
+	Oversub float64
 }
 
 func (c Config) withDefaults() Config {
@@ -212,11 +219,17 @@ func ConfigFromParams(p *params.Set) (Config, error) {
 	if err != nil {
 		return Config{}, err
 	}
-	return Config{
+	cfg := Config{
 		Topo:    t,
 		Workers: p.Int("workers"),
 		Seed:    p.Seed(),
-	}, nil
+	}
+	// Only surfaces that declare a ratio knob (the oversub scenario) get
+	// a finite spine; everything else keeps the non-blocking default.
+	if p.Has("ratio") {
+		cfg.Oversub = p.Float("ratio")
+	}
+	return cfg, nil
 }
 
 // Tenant is one pooled-NIC consumer: homed in a rack, currently placed
@@ -231,9 +244,13 @@ type Tenant struct {
 
 	idx  int     // cluster-wide ordinal (payload tag for attribution)
 	gbps float64 // this epoch's demand
-	rack int     // current placement (-1: unplaced)
-	vnic *core.VirtualNIC
-	user *core.Host
+	// grantGbps is the rate the spine actually granted this epoch:
+	// equal to gbps except for spilled tenants sharing an
+	// oversubscribed uplink, whose pumps throttle to their fair share.
+	grantGbps float64
+	rack      int // current placement (-1: unplaced)
+	vnic      *core.VirtualNIC
+	user      *core.Host
 
 	// churn marks a tenant admitted through the fast path; gone marks
 	// a departed one (kept in place so ordinals stay stable); retries
@@ -357,6 +374,11 @@ type Cluster struct {
 	racks   []*Rack
 	tenants []*Tenant // stable placement/iteration order
 
+	// spine is the simulated cross-rack datapath: every inter-rack
+	// cost (spill penalty, migration, drain stream) and every active
+	// brownout routes through its queued links.
+	spine *spine.Network
+
 	// Per-rack counters (first-Add order = rack order).
 	placedLocal *metrics.CounterSet
 	placedSpill *metrics.CounterSet
@@ -369,11 +391,10 @@ type Cluster struct {
 	crossRowMigs uint64
 
 	// Fault-engine state: faults struck so far (never removed; closed
-	// ones keep their recovery epoch), active fabric brownouts, MTTR
-	// accounting, and the measured dead-rack-epoch tally the analytic
-	// availability figures are checked against.
+	// ones keep their recovery epoch; brownouts are published to the
+	// spine), MTTR accounting, and the measured dead-rack-epoch tally
+	// the analytic availability figures are checked against.
 	active         []*activeFault
-	brownouts      []brownout
 	mttr           faults.MTTR
 	deadRackEpochs uint64
 	rackEpochs     uint64
@@ -448,6 +469,12 @@ type EpochStats struct {
 	AdmitP50 float64
 	AdmitP95 float64
 	AdmitP99 float64
+	// Spine view this epoch (all zero on a non-blocking spine):
+	// highest uplink utilization, total demand in excess of uplink
+	// capacity, and spilled tenants throttled below their demand.
+	SpineMaxUtil    float64
+	SpineQueuedGbps float64
+	SpineThrottled  int
 }
 
 // New builds the racks, their orchestrators, and the tenant
@@ -478,6 +505,7 @@ func New(cfg Config) (*Cluster, error) {
 		admitLat:      metrics.NewRecorder(256),
 		epochLat:      metrics.NewRecorder(64),
 	}
+	c.spine = spine.New(cfg.Topo, spine.Config{Oversub: cfg.Oversub})
 	for r := 0; r < cfg.Topo.RackCount(); r++ {
 		rack, err := c.buildRack(r)
 		if err != nil {
@@ -702,30 +730,65 @@ func (c *Cluster) canServe(t *Tenant, rackIdx int) bool {
 
 // coldestRackFor returns the best spill/relocation target for the
 // tenant (excluding `exclude`; pass -1 to consider all), or -1 if none
-// can serve it. Candidates are ranked by path hops from the tenant's
-// current location (its home when unplaced) first — same-row racks
+// can serve it. Candidates whose home<->candidate path still has
+// residual uplink capacity for the tenant's demand rank strictly ahead
+// of ones that would oversubscribe a link (so a 40G heterogeneous
+// rack's bundle is never silently oversubscribed while an alternative
+// exists); within each class they are ranked by path hops from the
+// tenant's current location (its home when unplaced) — same-row racks
 // before cross-row ones — then by pressure; remaining ties break
-// toward the lowest index, keeping placement deterministic. In a
-// single-row fleet every candidate is equidistant, so the ranking
-// degenerates to the original pure-pressure choice.
+// toward the lowest index, keeping placement deterministic. On a
+// non-blocking spine every candidate fits, so the ranking degenerates
+// to the original hops-then-pressure choice.
 func (c *Cluster) coldestRackFor(t *Tenant, exclude int) int {
 	ref := t.rack
 	if ref < 0 {
 		ref = t.Home
 	}
-	best, bestHops, bestP := -1, 0, 0.0
+	finite := !c.spine.Unlimited()
+	if finite {
+		c.loadSpineDemand(t)
+	}
+	best, bestFits, bestHops, bestP := -1, false, 0, 0.0
 	for i := range c.racks {
 		if i == exclude || !c.canServe(t, i) {
 			continue
 		}
+		fits := true
+		if finite && i != t.Home {
+			fits = c.spine.FlowFits(t.Home, i, t.gbps)
+		}
 		hops := c.cfg.Topo.RackPath(ref, i).Hops
 		p := c.pressure(i)
-		if best == -1 || hops < bestHops || (hops == bestHops && p < bestP) {
-			best, bestHops, bestP = i, hops, p
+		if best == -1 || (fits && !bestFits) ||
+			(fits == bestFits && (hops < bestHops || (hops == bestHops && p < bestP))) {
+			best, bestFits, bestHops, bestP = i, fits, hops, p
 		}
 	}
 	return best
 }
+
+// loadSpineDemand rebuilds the spine's fluid ledger from current
+// placements: every live spilled tenant lays its demand on the uplinks
+// of its home<->placement path. `exclude` omits one tenant (the one
+// being re-placed, whose flow would move with it); pass nil to load
+// everything. The ledger is a pure function of placement state, so
+// rebuilding on demand keeps it consistent with no incremental
+// bookkeeping — and it is only ever built on the single-threaded
+// control plane, never inside a rack worker.
+func (c *Cluster) loadSpineDemand(exclude *Tenant) {
+	c.spine.BeginFlows()
+	for _, t := range c.tenants {
+		if t == exclude || t.gone || t.rack < 0 || t.rack == t.Home || t.gbps <= 0 {
+			continue
+		}
+		c.spine.AddFlow(t.Home, t.rack, t.gbps)
+	}
+}
+
+// SpineLinks returns the spine's per-uplink accounting snapshot (rack
+// uplinks in rack order, then row uplinks).
+func (c *Cluster) SpineLinks() []spine.LinkStats { return c.spine.LinkStats() }
 
 // vnicConfig sizes tenant vNICs: enough TX buffering to ride out the
 // ~1us agent completion cadence at up to tenantCapGbps.
@@ -807,31 +870,43 @@ func (c *Cluster) bind(t *Tenant, rackIdx int) error {
 }
 
 // migrate moves a tenant to rack dst: release in the source rack,
-// allocate in the destination, charge the src->dst path.
-func (c *Cluster) migrate(t *Tenant, dst int) error {
+// allocate in the destination, stream the tenant's device state over
+// the spine. Returns the move's modeled cost — on finite uplinks that
+// includes FIFO queueing behind earlier transfers still occupying the
+// crossed links, so concurrent evacuations into one uplink delay each
+// other; on a non-blocking spine it is exactly MigrationCost.
+func (c *Cluster) migrate(t *Tenant, dst int) (sim.Duration, error) {
 	src := t.rack
 	if src == dst {
-		return nil
+		return 0, nil
 	}
 	if src >= 0 {
 		if err := c.racks[src].Orch.Release(t.Name); err != nil {
-			return err
+			return 0, err
 		}
 		t.vnic, t.user, t.rack = nil, nil, -1
 	}
 	if err := c.bind(t, dst); err != nil {
-		return err
+		return 0, err
 	}
+	var cost sim.Duration
 	if src >= 0 {
 		c.migratedOut.Add(c.racks[src].Name, 1)
-		c.MigrationTime.Record(float64(c.MigrationCost(src, dst)))
+		_, cost = c.spine.Transfer(c.spineClock(), src, dst, c.cfg.TenantState)
+		c.MigrationTime.Record(float64(cost))
 		if c.cfg.Topo.SameRow(src, dst) {
 			c.sameRowMigs++
 		} else {
 			c.crossRowMigs++
 		}
 	}
-	return nil
+	return cost, nil
+}
+
+// spineClock is the spine's notion of now: control-plane transfers are
+// stamped at the opening edge of the current epoch.
+func (c *Cluster) spineClock() sim.Time {
+	return sim.Time(c.epoch) * c.cfg.Epoch
 }
 
 // RowMigrations returns the cumulative migration split: moves that
@@ -861,7 +936,7 @@ func (c *Cluster) globalSweep() (migrations, repatriations int, err error) {
 		// spill threshold with the tenant's demand back.
 		if c.canServe(t, t.Home) &&
 			(c.offeredGbps(t.Home)+t.gbps)/c.racks[t.Home].effCapacityGbps() <= thr*0.85 {
-			if err := c.migrate(t, t.Home); err != nil {
+			if _, err := c.migrate(t, t.Home); err != nil {
 				// Rack-local resource exhaustion (a segment filled by
 				// fault pile-ons): the tenant is left unplaced and the
 				// next heartbeat re-places it; aborting the run over one
@@ -913,7 +988,7 @@ func (c *Cluster) globalSweep() (migrations, repatriations int, err error) {
 		if pick == nil {
 			break // nothing movable without overloading a destination
 		}
-		if err := c.migrate(pick, pickDst); err != nil {
+		if _, err := c.migrate(pick, pickDst); err != nil {
 			break // destination bind failed; retried next heartbeat
 		}
 		migrations++
@@ -960,14 +1035,17 @@ func (c *Cluster) drainRack(idx int, by drainCause) (int, sim.Duration, error) {
 			rack.draining, rack.drainedBy = false, drainNone
 			return moved, cost, fmt.Errorf("cluster: draining %s: no surviving rack", rack.Name)
 		}
-		if err := c.migrate(t, dst); err != nil {
+		moveCost, err := c.migrate(t, dst)
+		if err != nil {
 			rack.draining, rack.drainedBy = false, drainNone
 			return moved, cost, err
 		}
 		moved++
-		// Each relocation is charged by its own path: same-row targets
-		// (preferred by coldestRackFor) stream cheaper than cross-row.
-		cost += c.MigrationCost(idx, dst)
+		// Each relocation is charged by its own path and queues on the
+		// spine: same-row targets (preferred by coldestRackFor) stream
+		// cheaper than cross-row, and on finite uplinks the drain's
+		// streams serialize behind each other on the shared uplink.
+		cost += moveCost
 		c.drained.Add(rack.Name, 1)
 	}
 	rack.Orch.Stop()
@@ -1049,13 +1127,14 @@ func (c *Cluster) RunEpoch() (EpochStats, error) {
 	// delivery-attribution keys) but demand nothing.
 	for _, t := range c.tenants {
 		if t.gone {
-			t.gbps = 0
+			t.gbps, t.grantGbps = 0, 0
 			continue
 		}
 		t.gbps = t.BaseGbps * c.cfg.Skew.Factor(e, t.Home)
 		if t.gbps > tenantCapGbps {
 			t.gbps = tenantCapGbps
 		}
+		t.grantGbps = t.gbps
 	}
 	// Scheduled physical repairs land first, so the policy heartbeat
 	// below sees post-repair state (reopen/repatriate rules trigger the
@@ -1116,6 +1195,28 @@ func (c *Cluster) RunEpoch() (EpochStats, error) {
 		c.dispatchCrews(e)
 		st.RepairQueue, st.CrewsBusy = c.repairQueue()
 	}
+	// Spine grant pass: with finite uplinks, every spilled tenant's
+	// steady demand is laid on the links of its home<->placement path
+	// and granted a proportional fair share — concurrent spills into
+	// one uplink contend, throttling each other's pumps below demand.
+	// Runs after the strike pass so freshly browned paths bind this
+	// epoch. A non-blocking spine skips the whole pass (grants already
+	// equal demand).
+	if !c.spine.Unlimited() {
+		c.loadSpineDemand(nil)
+		for _, t := range c.tenants {
+			if t.gone || t.rack < 0 || t.rack == t.Home || t.gbps <= 0 {
+				continue
+			}
+			g := c.spine.GrantRate(t.Home, t.rack, t.gbps)
+			if g < t.gbps {
+				st.SpineThrottled++
+			}
+			t.grantGbps = g
+		}
+		sum := c.spine.CloseFlows()
+		st.SpineMaxUtil, st.SpineQueuedGbps = sum.MaxUtil, sum.QueuedGbps
+	}
 	for _, r := range c.racks {
 		if r.dead {
 			st.DeadRacks++
@@ -1155,6 +1256,11 @@ func (c *Cluster) RunEpoch() (EpochStats, error) {
 	}
 	if c.cfg.Faults != nil {
 		c.checkRecoveries(e)
+	}
+	// Land the epoch's spine transfer completions (inflight and queued
+	// bytes drain up to the epoch's closing edge).
+	if err := c.spine.AdvanceTo(sim.Time(e+1) * c.cfg.Epoch); err != nil {
+		return st, err
 	}
 	c.epoch++
 	return st, nil
@@ -1220,9 +1326,29 @@ func (c *Cluster) runRackEpoch(r *Rack) error {
 		if t.rack != r.index || t.gbps <= 0 {
 			continue
 		}
-		interval := sim.Duration(float64(payloadBytes*8) / t.gbps)
+		// Pump at the spine-granted rate: a tenant throttled on an
+		// oversubscribed uplink fires fewer frames. The ungranted
+		// remainder is still offered demand — accrue it analytically
+		// (the dead-rack pattern) so goodput = delivered/offered dips
+		// under contention. Rack-local tenant writes only.
+		rate := t.grantGbps
+		if rate <= 0 || rate > t.gbps {
+			rate = t.gbps
+		}
+		interval := sim.Duration(float64(payloadBytes*8) / rate)
 		if interval < 1 {
 			interval = 1
+		}
+		if rate < t.gbps {
+			full := sim.Duration(float64(payloadBytes*8) / t.gbps)
+			if full < 1 {
+				full = 1
+			}
+			nFull := (c.cfg.Epoch + full - 1) / full
+			nGrant := (c.cfg.Epoch + interval - 1) / interval
+			if nFull > nGrant {
+				t.offeredBytes += uint64(nFull-nGrant) * payloadBytes
+			}
 		}
 		p := &tenantPump{r: r, t: t, dst: r.sinkNICs[t.idx%len(r.sinkNICs)],
 			interval: interval, end: end, at: start}

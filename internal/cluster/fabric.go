@@ -51,48 +51,14 @@ func (c *Cluster) IntraRackTier() Tier {
 	return TierFromLink("intra-rack (ToR)", c.cfg.Topo.IntraRack(0))
 }
 
-// brownout is one active partial fabric degradation: the bandwidth of
-// the src<->dst path scales by `scale` until the fault repairs.
-type brownout struct {
-	src, dst int
-	scale    float64
-}
-
-// covers reports whether the brownout degrades the a<->b path: a
-// same-row brownout pins exactly its rack pair (both directions); a
-// cross-row one browns the whole row-to-row bundle, so every rack pair
-// spanning those rows is taxed.
-func (b brownout) covers(t *topo.Topology, a, c int) bool {
-	if (a == b.src && c == b.dst) || (a == b.dst && c == b.src) {
-		return true
-	}
-	if t.SameRow(b.src, b.dst) {
-		return false
-	}
-	ra, rc := t.RowOf(a), t.RowOf(c)
-	rs, rd := t.RowOf(b.src), t.RowOf(b.dst)
-	return (ra == rs && rc == rd) || (ra == rd && rc == rs)
-}
-
 // rackPath is the topology path with active brownouts applied: the
-// worst covering brownout scales the path's bottleneck bandwidth. All
-// fabric cost models route through here so a brownout is felt by
+// composed covering brownouts scale the path's bottleneck bandwidth,
+// floored at spine.MinPathScale so stacked faults cannot zero it. The
+// spine owns both the brownout overlays and the queued links, so all
+// fabric cost models route through it and a brownout is felt by
 // migrations, drains, and spill penalties alike.
 func (c *Cluster) rackPath(src, dst int) topo.Path {
-	p := c.cfg.Topo.RackPath(src, dst)
-	if len(c.brownouts) == 0 || src == dst {
-		return p
-	}
-	scale := 1.0
-	for _, b := range c.brownouts {
-		if b.covers(c.cfg.Topo, src, dst) && b.scale < scale {
-			scale = b.scale
-		}
-	}
-	if scale < 1 {
-		p.Bandwidth = mem.GBps(float64(p.Bandwidth) * scale)
-	}
-	return p
+	return c.spine.Path(src, dst)
 }
 
 // InterRackTier is the aggregated rack-to-rack tier between racks a

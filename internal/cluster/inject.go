@@ -4,6 +4,7 @@ import (
 	"cxlpool/internal/faults"
 	"cxlpool/internal/nicsim"
 	"cxlpool/internal/sim"
+	"cxlpool/internal/spine"
 )
 
 // This file is the cluster side of the failure engine: it walks the
@@ -349,18 +350,19 @@ func (c *Cluster) recomputeHostLoss(r *Rack) {
 	r.lostGbps = lost
 }
 
-// recomputeBrownouts rebuilds the active brownout list from the open
-// Brownout faults.
+// recomputeBrownouts republishes the active brownout set to the spine
+// from the open Brownout faults.
 func (c *Cluster) recomputeBrownouts() {
-	c.brownouts = c.brownouts[:0]
+	var bs []spine.Brownout
 	for _, af := range c.active {
 		if af.repaired || af.ev.Class != faults.Brownout {
 			continue
 		}
-		c.brownouts = append(c.brownouts, brownout{
-			src: af.ev.Src, dst: af.ev.Dst, scale: af.ev.Scale(),
+		bs = append(bs, spine.Brownout{
+			Src: af.ev.Src, Dst: af.ev.Dst, Scale: af.ev.Scale(),
 		})
 	}
+	c.spine.SetBrownouts(bs)
 }
 
 // checkRecoveries closes the MTTR loop at the end of an epoch: a fault

@@ -655,8 +655,8 @@ func (c *Cluster) evacuate(idx int, budget *int) int {
 		if !c.spend(budget) {
 			continue
 		}
-		cost := c.MigrationCost(idx, dst)
-		if c.migrate(t, dst) != nil {
+		cost, err := c.migrate(t, dst)
+		if err != nil {
 			continue
 		}
 		moved++
@@ -687,7 +687,7 @@ func (c *Cluster) repatriateHome(idx int, budget *int) int {
 		if !c.spend(budget) {
 			continue
 		}
-		if c.migrate(t, idx) != nil {
+		if _, err := c.migrate(t, idx); err != nil {
 			continue
 		}
 		moved++

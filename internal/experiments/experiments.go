@@ -29,6 +29,8 @@
 //	               (standalone: by name or sweep only, not in `all`)
 //	E17 churn      tenant churn workloads & the admission fast path
 //	               (standalone: by name or sweep only, not in `all`)
+//	E18 oversub    cross-rack spine oversubscription study
+//	               (standalone: by name or sweep only, not in `all`)
 package experiments
 
 import (
@@ -84,6 +86,8 @@ func All() []Scenario {
 			Params: failuresParamSpecs(), Run: runFailures, Standalone: true},
 		{Name: "churn", Paper: "E17: tenant churn & the admission fast path",
 			Params: churnParamSpecs(), Run: runChurn, Standalone: true},
+		{Name: "oversub", Paper: "E18: cross-rack spine oversubscription study",
+			Params: oversubParamSpecs(), Run: runOversub, Standalone: true},
 	}
 }
 

@@ -19,7 +19,7 @@ func runExp(t *testing.T, name string) string {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"figure2", "sqrtn", "figure3", "figure4", "cost",
 		"lanes", "memlat", "failover", "ablate", "torless", "pooled", "storage",
-		"figure2xl", "cluster", "multirow", "failures", "churn"}
+		"figure2xl", "cluster", "multirow", "failures", "churn", "oversub"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(all), len(want))
@@ -39,8 +39,8 @@ func TestRegistryComplete(t *testing.T) {
 	// else: the golden stays pinned to the paper's artifacts while
 	// multirow remains reachable by name and sweep.
 	arts := Artifacts()
-	if len(arts) != len(all)-3 {
-		t.Fatalf("artifact set has %d entries, want %d", len(arts), len(all)-3)
+	if len(arts) != len(all)-4 {
+		t.Fatalf("artifact set has %d entries, want %d", len(arts), len(all)-4)
 	}
 	for _, s := range arts {
 		if s.Standalone {
@@ -55,6 +55,9 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if s, ok := Lookup("churn"); !ok || !s.Standalone {
 		t.Fatal("churn must be registered and standalone")
+	}
+	if s, ok := Lookup("oversub"); !ok || !s.Standalone {
+		t.Fatal("oversub must be registered and standalone")
 	}
 }
 

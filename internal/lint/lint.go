@@ -260,6 +260,7 @@ var criticalPkgs = map[string]bool{
 	"experiments": true,
 	"faults":      true,
 	"churn":       true,
+	"spine":       true,
 	"report":      true,
 	"metrics":     true,
 	"runner":      true,

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"errors"
 	"testing"
 
 	"cxlpool/internal/sim"
@@ -180,5 +181,74 @@ func TestFabricDuplicateAttach(t *testing.T) {
 	}
 	if err := f.Attach("c", 0, &b); err == nil {
 		t.Fatal("zero-rate attach accepted")
+	}
+}
+
+func TestPortStatsUnknownPort(t *testing.T) {
+	e := sim.NewEngine(1)
+	f := NewFabric("tor", e)
+	var b sink
+	if err := f.Attach("b", 12.5, &b); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.PortStats("ghost"); !errors.Is(err, ErrUnknownPort) {
+		t.Fatalf("PortStats(ghost) = %v, want ErrUnknownPort", err)
+	}
+	if fw, dr, err := f.PortStats("b"); err != nil || fw != 0 || dr != 0 {
+		t.Fatalf("fresh port stats = (%d, %d, %v), want zeros", fw, dr, err)
+	}
+}
+
+// Sustained overload: per-port drops grow monotonically with offered
+// load, and every injected frame is accounted exactly once —
+// forwarded + dropped always equals frames injected.
+func TestTailDropAccountingConserved(t *testing.T) {
+	e := sim.NewEngine(1)
+	f := NewFabric("tor", e)
+	f.MaxQueueDelay = 1000 // 1us of buffering at a 1 GB/s port
+	var b sink
+	if err := f.Attach("b", 1, &b); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 9000) // ~9us serialization each
+	injected := uint64(0)
+	lastDrops := uint64(0)
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 8; i++ {
+			if err := f.Inject(sim.Time(round), &Packet{Dst: "b", Payload: big}); err != nil {
+				t.Fatal(err)
+			}
+			injected++
+		}
+		fw, dr, err := f.PortStats("b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dr < lastDrops {
+			t.Fatalf("round %d: drops went backwards (%d -> %d)", round, lastDrops, dr)
+		}
+		lastDrops = dr
+		if fw+dr != injected {
+			t.Fatalf("round %d: forwarded %d + dropped %d != injected %d", round, fw, dr, injected)
+		}
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fw, dr, err := f.PortStats("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr == 0 {
+		t.Fatal("sustained overload produced no tail drops")
+	}
+	if fw+dr != injected {
+		t.Fatalf("final: forwarded %d + dropped %d != injected %d", fw, dr, injected)
+	}
+	if uint64(len(b.got)) != fw {
+		t.Fatalf("deliveries %d != forwarded %d", len(b.got), fw)
+	}
+	if f.Drops() != dr {
+		t.Fatalf("fabric drop total %d != port drops %d", f.Drops(), dr)
 	}
 }

@@ -250,3 +250,42 @@ func TestPowerCoolingDomains(t *testing.T) {
 	}
 	_ = sim.Duration(0)
 }
+
+// Bottleneck selection between tiers: by default the rack uplink is
+// the narrowest crossed link (the 100 GB/s row uplink never binds);
+// thin the inter-row edge below the rack uplinks — below even a
+// heterogeneous 40G rack's bundle — and cross-row paths bottleneck on
+// it while same-row paths are untouched.
+func TestBottleneckInterRowVsRackUplink(t *testing.T) {
+	specs := [][]RackSpec{{{}, {NICGbps: 40}}, {{}, {}}}
+
+	def, err := NewWithLinks(specs, Links{})
+	tp := mustTopo(t, def, err)
+	if bw := tp.RackPath(0, 2).Bandwidth; bw != 50 {
+		t.Fatalf("default cross-row bottleneck = %v, want rack uplink 50", bw)
+	}
+	// The 40G rack's 20 GB/s uplink is the bottleneck on every path it
+	// joins, same-row or cross-row.
+	if bw := tp.RackPath(1, 2).Bandwidth; bw != 20 {
+		t.Fatalf("het cross-row bottleneck = %v, want 40G rack uplink 20", bw)
+	}
+	if bw := tp.RackPath(0, 1).Bandwidth; bw != 20 {
+		t.Fatalf("het same-row bottleneck = %v, want 40G rack uplink 20", bw)
+	}
+
+	thinned, err := NewWithLinks(specs, Links{RowUplink: Link{Latency: 2250, Bandwidth: 10}})
+	thin := mustTopo(t, thinned, err)
+	if bw := thin.RackPath(0, 2).Bandwidth; bw != 10 {
+		t.Fatalf("thinned cross-row bottleneck = %v, want inter-row edge 10", bw)
+	}
+	if bw := thin.RackPath(1, 2).Bandwidth; bw != 10 {
+		t.Fatalf("thinned het cross-row bottleneck = %v, want inter-row edge 10 (below the 20 GB/s bundle)", bw)
+	}
+	if bw := thin.RackPath(0, 1).Bandwidth; bw != 20 {
+		t.Fatalf("same-row bottleneck changed to %v under a thin row uplink, want 20", bw)
+	}
+	// The narrower edge streams the same state strictly slower.
+	if fast, slow := tp.RackPath(0, 2).Transfer(16<<20), thin.RackPath(0, 2).Transfer(16<<20); slow <= fast {
+		t.Fatalf("thin-edge transfer %v not slower than default %v", slow, fast)
+	}
+}
